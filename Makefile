@@ -1,0 +1,36 @@
+# Convenience targets for the MIC reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench figures quick-figures examples clean
+
+install:
+	pip install -e . --no-build-isolation || pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-verbose:
+	$(PYTHON) -m pytest tests/ -v
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+figures:
+	$(PYTHON) -m repro.bench --save benchmarks/results
+
+quick-figures:
+	$(PYTHON) -m repro.bench --quick
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/hidden_service.py
+	$(PYTHON) examples/traffic_analysis_defense.py
+	$(PYTHON) examples/datacenter_mix.py
+	$(PYTHON) examples/failure_recovery.py
+	$(PYTHON) examples/trace_capture.py
+	$(PYTHON) examples/udp_telemetry.py
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null || true
+	rm -rf .pytest_cache .hypothesis

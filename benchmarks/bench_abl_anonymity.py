@@ -1,0 +1,66 @@
+"""Abl-7: anonymity-set sizes across the fabric, by topology scale.
+
+"A flow can mimic flows of other participants" — but only as many as route
+past the observation point.  This bench quantifies the per-link sender/
+receiver anonymity sets MIC's plausibility restrictions allow, averaged
+over interior fabric links, for growing fabrics.
+"""
+
+import statistics
+
+from repro.attacks import link_anonymity
+from repro.bench import FigureResult
+from repro.core import AddressRestrictions
+from repro.net import fat_tree, leaf_spine
+from repro.sdn import TopologyView
+
+FABRICS = {
+    "fat-tree k=4 (16 hosts)": lambda: fat_tree(4),
+    "fat-tree k=6 (54 hosts)": lambda: fat_tree(6),
+    "leaf-spine 4x8 (32 hosts)": lambda: leaf_spine(4, 8, 4),
+}
+
+
+def fabric_stats(topo):
+    view = TopologyView(topo)
+    restrictions = AddressRestrictions(view)
+    senders, receivers = [], []
+    for u, v in topo.graph.edges:
+        if topo.kind(u) != "switch" or topo.kind(v) != "switch":
+            continue  # host access links are degenerate by design
+        for a, b in ((u, v), (v, u)):
+            report = link_anonymity(restrictions, a, b)
+            if report.pair_count == 0:
+                continue
+            senders.append(report.sender_set_size)
+            receivers.append(report.receiver_set_size)
+    return statistics.mean(senders), statistics.mean(receivers)
+
+
+def run_ablation():
+    result = FigureResult(
+        "Abl-7", "mean interior-link anonymity-set size by fabric",
+        x_label="fabric", y_label="candidate hosts", unit="",
+    )
+    for name, builder in FABRICS.items():
+        topo = builder()
+        mean_s, mean_r = fabric_stats(topo)
+        result.add("sender set", name, mean_s)
+        result.add("receiver set", name, mean_r)
+        result.add("hosts", name, len(topo.hosts()))
+    return result
+
+
+def test_abl_anonymity(benchmark, save_table):
+    result = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    save_table("abl_anonymity", result)
+
+    for name in FABRICS:
+        # Interior links always mix several candidates in both roles.
+        assert result.value("sender set", name) > 2
+        assert result.value("receiver set", name) > 2
+    # Anonymity scales with fabric size.
+    assert (
+        result.value("sender set", "fat-tree k=6 (54 hosts)")
+        > result.value("sender set", "fat-tree k=4 (16 hosts)")
+    )

@@ -1,0 +1,67 @@
+"""Abl-4: compromised-switch positions (the paper's Sec V case analysis).
+
+Sweeps a passive observer across every switch of the fabric during a MIC
+exchange and tallies what each position learned: sender only, receiver
+only, neither, or both (both = unlinkability broken; must never happen).
+"""
+
+from repro.attacks import analyze_position, observe_switches
+from repro.bench import FigureResult, Testbed, open_mic, run_process
+from repro.workloads.iperf import measure_echo
+
+
+def run_sweep(seed: int = 0, n_mns: int = 3):
+    bed = Testbed.create(seed=seed)
+    points = observe_switches(bed.net, bed.net.topo.switches())
+    session = run_process(bed.net, open_mic(bed, "h1", "h16", 27000, n_mns=n_mns))
+    run_process(
+        bed.net, measure_echo(bed.net.sim, session.client, session.server, 100)
+    )
+    h1_ip, h16_ip = str(bed.net.host("h1").ip), str(bed.net.host("h16").ip)
+    tally = {"sender_only": 0, "receiver_only": 0, "neither": 0, "both": 0}
+    for point in points.values():
+        report = analyze_position(point, h1_ip, h16_ip)
+        if report.links_pair:
+            tally["both"] += 1
+        elif report.saw_sender:
+            tally["sender_only"] += 1
+        elif report.saw_receiver:
+            tally["receiver_only"] += 1
+        else:
+            tally["neither"] += 1
+    return tally, len(points)
+
+
+def run_ablation(mn_counts=(1, 2, 3, 4)):
+    result = FigureResult(
+        "Abl-4", "what a compromised switch learns, by MN count",
+        x_label="n_mns", y_label="switch count", unit="",
+    )
+    for n in mn_counts:
+        tally, total = run_sweep(n_mns=n)
+        for category, count in tally.items():
+            result.add(category, n, count)
+        result.add("total switches", n, total)
+    return result
+
+
+def test_abl_compromise(benchmark, save_table):
+    result = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    save_table("abl_compromise", result)
+
+    for n in (1, 2, 3, 4):
+        if n == 1:
+            # A single MN is a single trusted proxy: that one switch (and
+            # only that one) necessarily knows both endpoints — the same
+            # trust model as Anonymizer.  MIC's unlinkability needs >= 2 MNs.
+            assert result.value("both", n) == 1
+            continue
+        # With >= 2 MNs, the paper's headline invariant holds: NO switch
+        # ever links the pair.
+        assert result.value("both", n) == 0
+        # The on-path switches adjacent to endpoints exist, so some leak of
+        # one endpoint each is expected.
+        assert result.value("sender_only", n) >= 1
+        assert result.value("receiver_only", n) >= 1
+        # Most of the fabric (off-path + mid-path) learns nothing.
+        assert result.value("neither", n) >= result.value("total switches", n) / 2

@@ -1,0 +1,33 @@
+"""Fig 7: route setup time vs route length (MIC, Tor, TCP, SSL).
+
+Paper shape: Tor's telescoping setup grows with route length and dominates
+everything; MIC stays flat (one MC round trip regardless of MN count) and
+sits slightly above the TCP/SSL baselines.
+"""
+
+from repro.bench import fig7_route_setup
+
+ROUTE_LENGTHS = (1, 2, 3, 4, 5)
+
+
+def test_fig7_route_setup(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: fig7_route_setup(route_lengths=ROUTE_LENGTHS),
+        rounds=1, iterations=1,
+    )
+    save_table("fig7_route_setup", result)
+
+    tor = [result.value("Tor", n) for n in ROUTE_LENGTHS]
+    mic = [result.value("MIC", n) for n in ROUTE_LENGTHS]
+    tcp = [result.value("TCP", n) for n in ROUTE_LENGTHS]
+    ssl = [result.value("SSL", n) for n in ROUTE_LENGTHS]
+
+    # Tor grows (strictly) with route length and dwarfs MIC everywhere.
+    assert all(a < b for a, b in zip(tor, tor[1:]))
+    assert all(t > m * 1.5 for t, m in zip(tor, mic))
+    # MIC is flat: max/min within 25%.
+    assert max(mic) / min(mic) < 1.25
+    # MIC costs more than bare TCP (it talks to the MC) but stays in the
+    # same regime as SSL.
+    assert all(m > t for m, t in zip(mic, tcp))
+    assert all(m < s * 3 for m, s in zip(mic, ssl))

@@ -1,0 +1,28 @@
+"""Fig 8: 10-byte echo round-trip latency (TCP, SSL, MIC-TCP, MIC-SSL, Tor).
+
+Paper shape: Tor is ~62× TCP; MIC-TCP is comparable with TCP; MIC-SSL is
+comparable with SSL.
+"""
+
+from repro.bench import fig8_latency
+
+
+def test_fig8_latency(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: fig8_latency(trials=3), rounds=1, iterations=1
+    )
+    save_table("fig8_latency", result)
+
+    tcp = result.value("TCP", "rtt")
+    ssl = result.value("SSL", "rtt")
+    mic_tcp = result.value("MIC-TCP", "rtt")
+    mic_ssl = result.value("MIC-SSL", "rtt")
+    tor = result.value("Tor", "rtt")
+
+    # Tor is dramatically slower — the paper reports ~62x; accept 20x-150x.
+    assert 20 * tcp < tor < 150 * tcp
+    # MIC-TCP within 10% of TCP; MIC-SSL within 10% of SSL.
+    assert mic_tcp < tcp * 1.10
+    assert mic_ssl < ssl * 1.10
+    # SSL adds measurable latency over TCP (crypto on 10 B is small but real).
+    assert ssl > tcp

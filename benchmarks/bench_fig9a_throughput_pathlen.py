@@ -1,0 +1,28 @@
+"""Fig 9(a): single-flow throughput vs route length.
+
+Paper shape: MIC within 1% of TCP at every route length (the "<1% overhead"
+headline); Tor ~80% below TCP and decreasing as the circuit lengthens.
+"""
+
+from repro.bench import fig9a_throughput_vs_path_length
+
+ROUTE_LENGTHS = (1, 2, 3, 4, 5)
+
+
+def test_fig9a_throughput(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: fig9a_throughput_vs_path_length(route_lengths=ROUTE_LENGTHS),
+        rounds=1, iterations=1,
+    )
+    save_table("fig9a_throughput_pathlen", result)
+
+    tcp = result.value("TCP", 1)
+    for n in ROUTE_LENGTHS:
+        mic = result.value("MIC", n)
+        tor = result.value("Tor", n)
+        # MIC throughput within a few percent of TCP at every length.
+        assert mic > tcp * 0.95, f"MIC overhead too large at n={n}"
+        # Tor at least 75% below TCP.
+        assert tor < tcp * 0.25, f"Tor too fast at n={n}"
+    # Tor decays with route length (compare endpoints of the sweep).
+    assert result.value("Tor", 5) < result.value("Tor", 1) * 0.8

@@ -1,0 +1,34 @@
+"""Fig 9(b): average throughput vs number of concurrent flows (route len 3).
+
+Paper shape: Tor's average throughput collapses as flows multiply (the
+overlay saturates the fabric and the relays); MIC tracks TCP throughout.
+"""
+
+from repro.bench import fig9b_throughput_vs_flows
+
+FLOW_COUNTS = (1, 2, 4, 8)
+
+
+def test_fig9b_throughput(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: fig9b_throughput_vs_flows(flow_counts=FLOW_COUNTS),
+        rounds=1, iterations=1,
+    )
+    save_table("fig9b_throughput_flows", result)
+
+    ratios = []
+    for count in FLOW_COUNTS:
+        tcp = result.value("TCP", count)
+        mic = result.value("MIC", count)
+        tor = result.value("Tor", count)
+        ratios.append(mic / tcp)
+        # MIC stays in TCP's regime at every concurrency level (random
+        # m-flow walks vs ECMP picks add per-point equal-cost-path noise).
+        assert 0.7 * tcp < mic < 1.4 * tcp, f"MIC diverged at {count} flows"
+        # Tor is far below both.
+        assert tor < tcp * 0.35, f"Tor too fast at {count} flows"
+    # Across the sweep MIC averages out to ~TCP, as the paper reports.
+    mean_ratio = sum(ratios) / len(ratios)
+    assert 0.85 < mean_ratio < 1.25
+    # Tor collapses with scale: 8 flows get far less each than 1 flow did.
+    assert result.value("Tor", 8) < result.value("Tor", 1) * 0.5

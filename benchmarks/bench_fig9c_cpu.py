@@ -1,0 +1,27 @@
+"""Fig 9(c): overall CPU usage while running the Fig 9(a) evaluation.
+
+Paper shape: Tor suffers extremely high CPU overhead (redundant overlay
+paths + per-hop crypto); MIC shows only a narrow increase over TCP/SSL (the
+extra flow-table actions on the virtual switches).
+"""
+
+from repro.bench import fig9c_cpu_usage
+
+
+def test_fig9c_cpu(benchmark, save_table):
+    result = benchmark.pedantic(
+        lambda: fig9c_cpu_usage(route_lengths=(1, 3, 5)), rounds=1, iterations=1
+    )
+    save_table("fig9c_cpu", result)
+
+    tcp = result.value("TCP", "cpu")
+    ssl = result.value("SSL", "cpu")
+    mic = result.value("MIC", "cpu")
+    tor = result.value("Tor", "cpu")
+
+    # Tor burns several times the CPU of every non-overlay protocol.
+    assert tor > 2 * max(tcp, ssl, mic)
+    # MIC's increase over TCP is modest (well under SSL+Tor territory).
+    assert mic < tcp * 1.8
+    # SSL costs more CPU than plain TCP (bulk AES).
+    assert ssl > tcp

@@ -1,0 +1,86 @@
+"""Cross-validation: fluid max-min prediction vs packet-level measurement.
+
+The repository carries two throughput models — the packet-level simulator
+the figures use, and an analytic max-min fluid solver.  This bench runs the
+same concurrent-TCP scenario through both and checks they agree, which
+guards the packet model against accidental unfairness bugs and the fluid
+model against wrong capacity bookkeeping.
+"""
+
+from repro.bench import FigureResult, Testbed, open_tcp, run_process
+from repro.net import FluidFlow, max_min_fair
+from repro.workloads.iperf import measure_transfer
+
+PAIRS = [("h1", "h10"), ("h3", "h12"), ("h5", "h14"), ("h7", "h16")]
+NBYTES = 2_000_000
+
+
+def run_comparison(seed: int = 0):
+    bed = Testbed.create(seed=seed)
+    sessions = []
+
+    def open_all():
+        for i, (a, b) in enumerate(PAIRS):
+            s = yield from open_tcp(bed, a, b, 28000 + i)
+            sessions.append((a, b, s))
+
+    run_process(bed.net, open_all())
+
+    # Packet-level: run all transfers concurrently.
+    measured = {}
+
+    def transfer_all():
+        procs = {
+            (a, b): bed.net.sim.process(
+                measure_transfer(bed.net.sim, s.client, s.server, NBYTES)
+            )
+            for a, b, s in sessions
+        }
+        results = yield bed.net.sim.all_of(list(procs.values()))
+        for (pair, _p), r in zip(procs.items(), results):
+            measured[pair] = r.goodput_bps
+
+    run_process(bed.net, transfer_all())
+
+    # Fluid: same paths (the ones the L3 app actually installed), same
+    # link capacities.
+    capacities = {}
+    for link in bed.net.links:
+        for ch in (link.forward, link.reverse):
+            capacities[(ch.src.name, ch.dst.name)] = ch.bandwidth_bps
+    flows = []
+    for a, b in PAIRS:
+        path = bed.l3.pair_paths[(a, b)]
+        flows.append(FluidFlow(f"{a}->{b}", list(zip(path, path[1:]))))
+    alloc = max_min_fair(flows, capacities)
+    predicted = {
+        (a, b): alloc.rate(f"{a}->{b}") for a, b in PAIRS
+    }
+    return measured, predicted
+
+
+def run_bench():
+    result = FigureResult(
+        "Fluid-X", "packet-level vs fluid max-min per-flow throughput",
+        x_label="flow", y_label="throughput", unit="bps",
+    )
+    measured, predicted = run_comparison()
+    for pair in PAIRS:
+        name = f"{pair[0]}->{pair[1]}"
+        result.add("measured", name, measured[pair])
+        result.add("fluid", name, predicted[pair])
+    return result
+
+
+def test_fluid_validation(benchmark, save_table):
+    result = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    save_table("fluid_validation", result)
+
+    for pair in PAIRS:
+        name = f"{pair[0]}->{pair[1]}"
+        measured = result.value("measured", name)
+        fluid = result.value("fluid", name)
+        # Packet TCP pays headers/ACK-clocking, so it lands below the fluid
+        # bound but within 25% of it.
+        assert measured <= fluid * 1.01
+        assert measured > fluid * 0.75, f"{name}: {measured} vs fluid {fluid}"

@@ -1,0 +1,26 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Each bench saves its rendered table under ``benchmarks/results/`` so that
+EXPERIMENTS.md's paper-vs-measured records can be refreshed from one run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture()
+def save_table():
+    """Persist a FigureResult table and echo it to the terminal."""
+
+    def _save(name: str, result) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = result.format_table()
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print("\n" + text)
+
+    return _save

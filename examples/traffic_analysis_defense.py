@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Traffic-analysis resistance demo (Sec IV-C, Sec V).
+
+Plays three adversaries from the paper's threat model against a live MIC
+channel and prints what each one managed to learn:
+
+1. a compromised switch at every position of the fabric (who talks to whom?),
+2. a size-estimating observer at the sender's edge switch, with the channel
+   split over 1 vs 4 m-flows,
+3. an ingress/egress correlator at a Mimic Node, with and without partial
+   multicast decoys.
+
+Run:  python examples/traffic_analysis_defense.py
+"""
+
+from repro.attacks import (
+    ObservationPoint,
+    analyze_position,
+    correlate_at_mn,
+    estimate_flow_sizes,
+    observe_switches,
+    size_estimate_error,
+)
+from repro.bench import Testbed, open_mic, run_process
+from repro.workloads.iperf import measure_transfer
+
+PAYLOAD = 50_000
+
+
+def channel_run(n_flows=1, decoys=0, seed=0, watch_all=False):
+    bed = Testbed.create(seed=seed)
+    points = (
+        observe_switches(bed.net, bed.net.topo.switches())
+        if watch_all
+        else {"p0e0": ObservationPoint(bed.net, "p0e0")}
+    )
+    session = run_process(
+        bed.net,
+        open_mic(bed, "h1", "h16", 30000, n_flows=n_flows, n_mns=3, decoys=decoys),
+    )
+    run_process(
+        bed.net,
+        measure_transfer(bed.net.sim, session.client, session.server, PAYLOAD),
+    )
+    return bed, points
+
+
+def demo_unlinkability() -> None:
+    print("=== 1. compromised switches: who talks to whom? ===")
+    bed, points = channel_run(watch_all=True)
+    h1, h16 = str(bed.net.host("h1").ip), str(bed.net.host("h16").ip)
+    linked = []
+    for name, point in points.items():
+        report = analyze_position(point, h1, h16)
+        if report.links_pair:
+            linked.append(name)
+    plan = next(iter(bed.mic.channels.values())).flows[0]
+    print(f"  channel walk: {' -> '.join(plan.walk)} (MNs: {plan.mn_names})")
+    print(f"  switches compromised: {len(points)}")
+    print(f"  switches that could link h1<->h16: {linked or 'NONE'}\n")
+
+
+def demo_multiflow() -> None:
+    print("=== 2. size-based analysis at the sender's edge switch ===")
+    for n_flows in (1, 4):
+        bed, points = channel_run(n_flows=n_flows, seed=n_flows)
+        h1 = str(bed.net.host("h1").ip)
+        estimates = [
+            e for e in estimate_flow_sizes(points["p0e0"])
+            if e.signature[0] == h1
+        ]
+        err = size_estimate_error(PAYLOAD, estimates)
+        best = estimates[0].bytes if estimates else 0
+        print(
+            f"  {n_flows} m-flow(s): true size {PAYLOAD} B, "
+            f"attacker's best guess {best} B  (error {err:.0%})"
+        )
+    print()
+
+
+def demo_multicast() -> None:
+    print("=== 3. ingress/egress correlation at a Mimic Node ===")
+    for decoys in (0, 2):
+        bed, points = channel_run(decoys=decoys, seed=decoys + 20, watch_all=True)
+        channel = next(iter(bed.mic.channels.values()))
+        first_mn = channel.flows[0].mn_names[0]
+        result = correlate_at_mn(points[first_mn])
+        print(
+            f"  decoys={decoys}: matched {result.match_rate:.0%} of packets, "
+            f"{result.mean_candidates:.2f} candidates each "
+            f"-> confidence {result.confidence:.0%}"
+        )
+    print()
+
+
+def main() -> None:
+    demo_unlinkability()
+    demo_multiflow()
+    demo_multicast()
+    print("MIC held: no single observation point linked the endpoints; "
+          "multi-flow hid the size; decoys diluted the correlator.")
+
+
+if __name__ == "__main__":
+    main()

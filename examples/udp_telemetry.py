@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Anonymous UDP telemetry: MIC's datagram mode.
+
+A monitoring collector is a perfect traffic-analysis target — every server
+reports to it, so its address maps the deployment.  Here agents on several
+hosts push UDP telemetry through mimic channels: the collector never learns
+who reports, and fabric observers never see agent→collector pairs.
+
+Run:  python examples/udp_telemetry.py
+"""
+
+from repro.core import MicDatagramServer, deploy_mic
+
+COLLECTOR = "h13"
+AGENTS = ["h1", "h4", "h6", "h10"]
+
+
+def main() -> None:
+    dep = deploy_mic(seed=31)
+    collector = MicDatagramServer(dep.net.host(COLLECTOR), 8125)
+    reports: list[tuple[str, str]] = []
+
+    def collector_loop():
+        while True:
+            dgram = yield collector.recv()
+            reports.append((str(dgram.src_ip), dgram.data.decode()))
+            collector.reply(dgram, b"ack")
+
+    def agent(host_name: str):
+        endpoint = dep.endpoint(host_name)
+        sock = yield from endpoint.connect_datagram(
+            COLLECTOR, service_port=8125, n_mns=2
+        )
+        for i in range(3):
+            sock.send(f"cpu={40 + i}% host=REDACTED".encode())
+            ack = yield sock.recv()
+            assert ack.data == b"ack"
+            yield dep.sim.timeout(0.1)
+
+    dep.sim.process(collector_loop())
+    for name in AGENTS:
+        dep.sim.process(agent(name))
+    dep.run_for(20.0)
+
+    real_ips = {name: str(dep.net.host(name).ip) for name in AGENTS}
+    print(f"collector on {COLLECTOR} received {len(reports)} reports")
+    print("apparent senders:", sorted({src for src, _ in reports}))
+    print("real agents:     ", sorted(real_ips.values()))
+    leaked = {src for src, _ in reports} & set(real_ips.values())
+    print(f"real agent addresses visible to the collector: {leaked or 'none'}")
+    assert len(reports) == 3 * len(AGENTS)
+    assert not leaked
+
+
+if __name__ == "__main__":
+    main()

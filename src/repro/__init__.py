@@ -1,0 +1,51 @@
+"""repro — a full reproduction of *MIC: An Efficient Anonymous Communication
+System in Data Center Networks* (ICPP 2016).
+
+Subpackages
+-----------
+``repro.sim``
+    Deterministic discrete-event simulation kernel (replaces Mininet's
+    real-time execution).
+``repro.net``
+    Network substrate: packets, links, SDN switches with flow/group tables,
+    hosts, topologies (fat-tree/leaf-spine/BCube/linear), fluid solver.
+``repro.sdn``
+    Controller runtime, global topology view, baseline L3 routing
+    (replaces Ryu).
+``repro.transport``
+    Simulated TCP and SSL/TLS endpoints (replaces Linux TCP + OpenSSL).
+``repro.crypto``
+    Crypto cost model and functional toy primitives.
+``repro.tor``
+    Onion-routing baseline: directory, relays, telescoping circuits,
+    SENDME flow control (replaces the paper's local Tor testbed).
+``repro.core``
+    **The paper's contribution**: MAGA reversible hashes, MPLS label-space
+    partitioning, collision avoidance, the Mimic Controller, the socket-like
+    user-end module, multiple m-flows and partial multicast.
+``repro.attacks``
+    Adversary machinery for the security analysis: observation points,
+    correlation and size analysis, anonymity metrics.
+``repro.workloads``
+    iperf-style measurement and traffic generators.
+``repro.bench``
+    The evaluation testbed, protocol drivers, and one experiment function
+    per figure of the paper.
+
+Quickstart: see ``examples/quickstart.py``.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "sim",
+    "net",
+    "sdn",
+    "transport",
+    "crypto",
+    "tor",
+    "core",
+    "attacks",
+    "workloads",
+    "bench",
+]

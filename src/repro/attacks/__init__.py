@@ -1,0 +1,43 @@
+"""Adversary machinery and anonymity metrics for the security analysis."""
+
+from .anonymity_set import LinkAnonymity, link_anonymity, walk_anonymity
+from .compromise import LeakReport, analyze_position, unlinkability_holds
+from .correlation import CorrelationResult, correlate_at_mn, end_to_end_correlation
+from .metrics import (
+    anonymity_set_size,
+    linkage_success_rate,
+    normalized_entropy,
+    posterior_entropy,
+)
+from .observer import Observation, ObservationPoint, node_vantage, observe_switches
+from .size_analysis import FlowSizeEstimate, estimate_flow_sizes, size_estimate_error
+from .targeting import TargetRanking, rank_targets
+from .timing import correlate_by_timing, interarrival_signature, rate_similarity
+
+__all__ = [
+    "CorrelationResult",
+    "FlowSizeEstimate",
+    "LeakReport",
+    "LinkAnonymity",
+    "link_anonymity",
+    "walk_anonymity",
+    "Observation",
+    "ObservationPoint",
+    "analyze_position",
+    "anonymity_set_size",
+    "correlate_at_mn",
+    "correlate_by_timing",
+    "end_to_end_correlation",
+    "interarrival_signature",
+    "rate_similarity",
+    "rank_targets",
+    "TargetRanking",
+    "estimate_flow_sizes",
+    "linkage_success_rate",
+    "node_vantage",
+    "normalized_entropy",
+    "observe_switches",
+    "posterior_entropy",
+    "size_estimate_error",
+    "unlinkability_holds",
+]

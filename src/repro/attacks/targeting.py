@@ -1,0 +1,70 @@
+"""Target-location attack (the paper's motivating scenario).
+
+Sec I: "If the attacker aims to crash the target application or system, he
+can locate some key nodes of the system (like the Metadata Servers in
+distributed file systems) easily, and then launch active attacks."
+
+The attack: from compromised observation points, rank hosts by how much
+traffic appears to be addressed to them; the top of the ranking is the
+presumed key node.  Against plain TCP the hub of a hub-and-spoke workload
+tops the ranking immediately.  Against MIC, observed destination addresses
+are mimic draws spread over plausible hosts, flattening the ranking.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .observer import ObservationPoint
+
+__all__ = ["TargetRanking", "rank_targets"]
+
+
+@dataclass(frozen=True)
+class TargetRanking:
+    """The adversary's ranking of candidate key nodes."""
+
+    by_bytes: tuple[tuple[str, int], ...]  # (dst_ip, bytes) desc
+
+    def top(self) -> str:
+        """The adversary's best guess for the key node."""
+        return self.by_bytes[0][0]
+
+    def position_of(self, ip: str) -> int:
+        """1-based rank of a host (len+1 if never observed)."""
+        for i, (candidate, _b) in enumerate(self.by_bytes, start=1):
+            if candidate == ip:
+                return i
+        return len(self.by_bytes) + 1
+
+    def concentration(self) -> float:
+        """Share of observed bytes claimed by the top candidate — high
+        concentration is what gives a hub away."""
+        total = sum(b for _ip, b in self.by_bytes)
+        return self.by_bytes[0][1] / total if total else 0.0
+
+
+def rank_targets(
+    points: Iterable[ObservationPoint],
+    exclude_ips: Sequence[str] = (),
+) -> TargetRanking:
+    """Aggregate observed per-destination volume across observation points.
+
+    Each packet is counted once per point that saw it (an adversary cannot
+    de-duplicate rewritten packets across points — that is the point).
+    ``exclude_ips`` drops infrastructure addresses the adversary already
+    knows (e.g. the MC service address).
+    """
+    volumes: dict[str, int] = defaultdict(int)
+    excluded = set(exclude_ips)
+    for point in points:
+        for obs in point.ingress():
+            if obs.dst_ip in excluded:
+                continue
+            volumes[obs.dst_ip] += obs.size
+    ranked = tuple(sorted(volumes.items(), key=lambda kv: kv[1], reverse=True))
+    if not ranked:
+        raise ValueError("no observations to rank")
+    return TargetRanking(by_bytes=ranked)

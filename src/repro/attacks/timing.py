@@ -1,0 +1,101 @@
+"""Timing-based flow correlation.
+
+Content matching (:mod:`.correlation`) fails against hops that re-encrypt
+— a Tor relay's output cells share no bytes with its input cells.  The
+classic fallback is *timing* correlation: an ingress packet and the egress
+packet that follows it within the node's processing-delay window are likely
+the same unit of traffic.
+
+:func:`correlate_by_timing` implements that attacker against any
+observation point; :func:`interarrival_signature` and
+:func:`rate_similarity` support the rate-based analysis of Sec V (matching
+two observation points by their traffic-rate profiles).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Sequence
+
+from .correlation import CorrelationResult
+from .observer import Observation, ObservationPoint
+
+__all__ = [
+    "correlate_by_timing",
+    "interarrival_signature",
+    "rate_similarity",
+]
+
+
+def correlate_by_timing(
+    point: ObservationPoint,
+    min_delay_s: float = 0.0,
+    max_delay_s: float = 2e-3,
+    size_tolerance: int = 64,
+) -> CorrelationResult:
+    """Pair ingress/egress packets by delay window and approximate size.
+
+    A candidate egress for an ingress packet leaves within
+    ``[min_delay_s, max_delay_s]`` and differs in size by at most
+    ``size_tolerance`` bytes (re-encryption preserves size up to padding).
+    Returns the same confidence structure as the content attack, so benches
+    can compare the two attackers directly.
+    """
+    egress = sorted(point.egress(), key=lambda o: o.time)
+    ingress = point.ingress()
+    matched = 0
+    ambiguous = 0
+    candidate_counts: list[int] = []
+    for obs in ingress:
+        lo = obs.time + min_delay_s
+        hi = obs.time + max_delay_s
+        candidates = [
+            e
+            for e in egress
+            if lo <= e.time <= hi and abs(e.size - obs.size) <= size_tolerance
+        ]
+        if candidates:
+            matched += 1
+            candidate_counts.append(len(candidates))
+            if len(candidates) > 1:
+                ambiguous += 1
+    mean_candidates = (
+        sum(candidate_counts) / len(candidate_counts) if candidate_counts else 0.0
+    )
+    return CorrelationResult(
+        matched=matched,
+        ambiguous=ambiguous,
+        total_ingress=len(ingress),
+        mean_candidates=mean_candidates,
+    )
+
+
+def interarrival_signature(
+    observations: Sequence[Observation], bucket_s: float = 0.01
+) -> dict[int, int]:
+    """Packet counts per time bucket — the flow's rate profile."""
+    if bucket_s <= 0:
+        raise ValueError("bucket size must be positive")
+    signature: dict[int, int] = defaultdict(int)
+    for obs in observations:
+        signature[int(obs.time / bucket_s)] += 1
+    return dict(signature)
+
+
+def rate_similarity(sig_a: dict[int, int], sig_b: dict[int, int]) -> float:
+    """Cosine similarity of two rate profiles in [0, 1].
+
+    1.0 means the two observation points saw identically-shaped traffic —
+    the signal a rate-based analyst uses to claim two vantage points watch
+    the same flow."""
+    if not sig_a or not sig_b:
+        return 0.0
+    buckets = set(sig_a) | set(sig_b)
+    dot = sum(sig_a.get(k, 0) * sig_b.get(k, 0) for k in buckets)
+    norm_a = math.sqrt(sum(v * v for v in sig_a.values()))
+    norm_b = math.sqrt(sum(v * v for v in sig_b.values()))
+    if norm_a == 0 or norm_b == 0:
+        return 0.0
+    return dot / (norm_a * norm_b)

@@ -1,0 +1,33 @@
+"""Benchmark harness: testbed, protocol drivers, per-figure experiments."""
+
+from .drivers import Session, open_mic, open_ssl, open_tcp, open_tor
+from .experiments import (
+    fig7_route_setup,
+    fig8_latency,
+    fig9a_throughput_vs_path_length,
+    fig9b_throughput_vs_flows,
+    fig9c_cpu_usage,
+    scalability_routing_calculation,
+    scalability_vs_fabric,
+)
+from .harness import FigureResult, fmt_si, run_process
+from .testbed import Testbed
+
+__all__ = [
+    "FigureResult",
+    "Session",
+    "Testbed",
+    "fig7_route_setup",
+    "fig8_latency",
+    "fig9a_throughput_vs_path_length",
+    "fig9b_throughput_vs_flows",
+    "fig9c_cpu_usage",
+    "fmt_si",
+    "open_mic",
+    "open_ssl",
+    "open_tcp",
+    "open_tor",
+    "run_process",
+    "scalability_routing_calculation",
+    "scalability_vs_fabric",
+]

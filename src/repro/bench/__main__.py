@@ -1,0 +1,109 @@
+"""Command-line figure regenerator.
+
+Usage::
+
+    python -m repro.bench                 # every figure, full sweeps
+    python -m repro.bench fig7 fig9a      # a subset
+    python -m repro.bench --quick         # reduced sweeps (smoke test)
+    python -m repro.bench --list
+
+Each experiment prints the paper-figure data table to stdout; pass
+``--save DIR`` to also write the tables as text files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from .experiments import (
+    fig7_route_setup,
+    fig8_latency,
+    fig9a_throughput_vs_path_length,
+    fig9b_throughput_vs_flows,
+    fig9c_cpu_usage,
+    scalability_routing_calculation,
+    scalability_vs_fabric,
+)
+
+EXPERIMENTS = {
+    "fig7": ("Fig 7: route setup time", lambda quick: fig7_route_setup(
+        route_lengths=(1, 3, 5) if quick else (1, 2, 3, 4, 5))),
+    "fig8": ("Fig 8: echo latency", lambda quick: fig8_latency(
+        trials=1 if quick else 3)),
+    "fig9a": ("Fig 9(a): throughput vs route length",
+              lambda quick: fig9a_throughput_vs_path_length(
+                  route_lengths=(1, 3, 5) if quick else (1, 2, 3, 4, 5))),
+    "fig9b": ("Fig 9(b): throughput vs flow count",
+              lambda quick: fig9b_throughput_vs_flows(
+                  flow_counts=(1, 4) if quick else (1, 2, 4, 8),
+                  seeds=(0,) if quick else (0, 1))),
+    "fig9c": ("Fig 9(c): CPU usage", lambda quick: fig9c_cpu_usage(
+        route_lengths=(1, 3) if quick else (1, 3, 5))),
+    "scalability": ("Sec VI-C: routing calculation",
+                    lambda quick: scalability_routing_calculation(
+                        flow_counts=(1, 4) if quick else (1, 2, 4, 8))),
+    "fabric": ("Sec VI-C: planning cost vs fabric size",
+               lambda quick: scalability_vs_fabric()),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the MIC paper's evaluation figures.",
+    )
+    parser.add_argument("figures", nargs="*", metavar="FIGURE",
+                        help=f"subset of: {', '.join(EXPERIMENTS)}")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced parameter sweeps")
+    parser.add_argument("--list", action="store_true", help="list figures")
+    parser.add_argument("--save", metavar="DIR",
+                        help="also write tables under DIR")
+    parser.add_argument("--report", metavar="FILE",
+                        help="write a combined markdown report to FILE")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for key, (title, _fn) in EXPERIMENTS.items():
+            print(f"{key:12s} {title}")
+        return 0
+
+    chosen = args.figures or list(EXPERIMENTS)
+    unknown = [f for f in chosen if f not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown figure(s): {', '.join(unknown)}")
+
+    save_dir = pathlib.Path(args.save) if args.save else None
+    if save_dir:
+        save_dir.mkdir(parents=True, exist_ok=True)
+
+    results = []
+    t_start = time.perf_counter()
+    for key in chosen:
+        title, fn = EXPERIMENTS[key]
+        print(f"== {title} ==")
+        t0 = time.perf_counter()
+        result = fn(args.quick)
+        results.append(result)
+        table = result.format_table()
+        print(table)
+        print(f"   ({time.perf_counter() - t0:.1f}s)\n")
+        if save_dir:
+            (save_dir / f"{key}.txt").write_text(table + "\n")
+    if args.report:
+        from .report import render_report
+
+        notes = "_Reduced sweeps (--quick)._" if args.quick else None
+        pathlib.Path(args.report).write_text(
+            render_report(results, elapsed_s=time.perf_counter() - t_start,
+                          notes=notes)
+        )
+        print(f"report written to {args.report}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,115 @@
+"""Latency decomposition: where does a round trip spend its time?
+
+The paper explains its latency results qualitatively (Tor: long paths and
+crypto; MIC: "substantially negligible" extra actions).  This module makes
+the explanation quantitative: given the network parameters and a session's
+path structure, it predicts the echo RTT as a sum of named stages and
+checks the prediction against the measured value.
+
+The model mirrors the simulator exactly (same constants), so prediction ≈
+measurement is a *consistency proof* for the explanation, not a tautology:
+it confirms nothing else (queueing, retransmits, hidden costs) contributed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..crypto import DEFAULT_COSTS, CryptoCostModel
+from ..net.params import NetParams
+from ..net.packet import ETH_HEADER, IP_HEADER, MPLS_SHIM, TCP_HEADER
+
+__all__ = ["LatencyBreakdown", "predict_mic_echo", "predict_tcp_echo"]
+
+
+@dataclass
+class LatencyBreakdown:
+    """Named contributions to one round-trip time, in seconds."""
+
+    stages: dict[str, float] = field(default_factory=dict)
+
+    def add(self, stage: str, seconds: float) -> None:
+        """Accumulate seconds into a named stage."""
+        self.stages[stage] = self.stages.get(stage, 0.0) + seconds
+
+    @property
+    def total(self) -> float:
+        """Sum over all stages."""
+        return sum(self.stages.values())
+
+    def share(self, stage: str) -> float:
+        """One stage's fraction of the total."""
+        return self.stages.get(stage, 0.0) / self.total if self.total else 0.0
+
+    def format_table(self) -> str:
+        """Stages sorted by contribution, with shares."""
+        width = max(len(s) for s in self.stages)
+        lines = [
+            f"{name.ljust(width)}  {sec * 1e6:9.2f} µs  {self.share(name):6.1%}"
+            for name, sec in sorted(
+                self.stages.items(), key=lambda kv: kv[1], reverse=True
+            )
+        ]
+        lines.append(f"{'TOTAL'.ljust(width)}  {self.total * 1e6:9.2f} µs")
+        return "\n".join(lines)
+
+
+def _one_way(
+    params: NetParams,
+    hops: int,
+    payload: int,
+    rewrites_per_mn: int,
+    n_mns: int,
+    labeled_hops: int,
+) -> LatencyBreakdown:
+    b = LatencyBreakdown()
+    base_size = ETH_HEADER + IP_HEADER + TCP_HEADER + payload
+    labeled_size = base_size + MPLS_SHIM
+    # Host stacks: sender tx + receiver rx.
+    b.add("host stacks", 2 * params.host_stack_delay_s)
+    # Links: hops+1 channels (host-switch, inter-switch…, switch-host).
+    links = hops + 1
+    for i in range(links):
+        size = labeled_size if 0 < i <= labeled_hops else base_size
+        b.add("link serialization", size * 8.0 / params.link_bandwidth_bps)
+        b.add("link propagation", params.link_delay_s)
+    # Switch pipelines.
+    b.add("switch pipeline", hops * params.switch_forward_delay_s)
+    # MN rewrite actions — the MIC-specific cost.
+    b.add("MN rewrites", n_mns * rewrites_per_mn * params.setfield_delay_s)
+    return b
+
+
+def predict_tcp_echo(
+    params: NetParams, switch_hops: int, payload: int = 10
+) -> LatencyBreakdown:
+    """Predicted RTT of a TCP echo over a plain ``switch_hops``-switch path."""
+    fwd = _one_way(params, switch_hops, payload, 0, 0, 0)
+    b = LatencyBreakdown()
+    for name, sec in fwd.stages.items():
+        b.add(name, 2 * sec)  # symmetric reply
+    return b
+
+
+def predict_mic_echo(
+    params: NetParams,
+    walk_switches: int,
+    n_mns: int,
+    payload: int = 10,
+    rewrites_per_mn: int = 7,
+    costs: CryptoCostModel = DEFAULT_COSTS,
+) -> LatencyBreakdown:
+    """Predicted RTT of a MIC echo through an established channel.
+
+    ``rewrites_per_mn`` counts the set-field/push/pop actions a typical MN
+    applies (src+dst IP and MAC, two ports, one label operation).
+    Interior segments carry the MPLS shim: that is ``walk_switches - 1``
+    inter-switch hops minus the unlabeled first/last segments.
+    """
+    labeled_hops = max(0, walk_switches - 1) if n_mns >= 2 else 0
+    fwd = _one_way(params, walk_switches, payload, rewrites_per_mn, n_mns,
+                   labeled_hops)
+    b = LatencyBreakdown()
+    for name, sec in fwd.stages.items():
+        b.add(name, 2 * sec)
+    return b

@@ -1,0 +1,94 @@
+"""Experiment harness: result containers and table rendering.
+
+Every figure-reproduction returns a :class:`FigureResult` whose
+:meth:`~FigureResult.format_table` prints the same rows/series the paper's
+figure plots, so benches and EXPERIMENTS.md share one source of truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+__all__ = ["FigureResult", "run_process", "fmt_si"]
+
+
+def run_process(net, gen, until: float = 600.0):
+    """Run a process generator on a network's simulator to completion."""
+    proc = net.sim.process(gen)
+    net.run(until=proc)
+    # Drain trailing events (acks, closes) without advancing past reason.
+    return proc.value
+
+
+def fmt_si(value: float, unit: str) -> str:
+    """Human-friendly engineering formatting, e.g. 1.25e9 → '1.25 G'."""
+    if value == float("inf"):
+        return "inf"
+    for factor, prefix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if abs(value) >= factor:
+            return f"{value / factor:.3g} {prefix}{unit}"
+    if abs(value) >= 1 or value == 0:
+        return f"{value:.3g} {unit}"
+    for factor, prefix in ((1e-3, "m"), (1e-6, "µ"), (1e-9, "n")):
+        if abs(value) >= factor:
+            return f"{value / factor:.3g} {prefix}{unit}"
+    return f"{value:.3g} {unit}"
+
+
+@dataclass
+class FigureResult:
+    """Data behind one reproduced figure."""
+
+    figure: str  # e.g. "Fig 7"
+    title: str
+    x_label: str
+    y_label: str
+    unit: str = ""
+    #: series name -> list of (x, y)
+    series: dict[str, list[tuple]] = field(default_factory=dict)
+
+    def add(self, series_name: str, x, y) -> None:
+        """Append one (x, y) point to a series."""
+        self.series.setdefault(series_name, []).append((x, y))
+
+    def xs(self) -> list:
+        """All x values, in first-seen order."""
+        seen: list = []
+        for points in self.series.values():
+            for x, _ in points:
+                if x not in seen:
+                    seen.append(x)
+        return seen
+
+    def value(self, series_name: str, x):
+        """The y value of a series at x (KeyError if absent)."""
+        for px, py in self.series[series_name]:
+            if px == x:
+                return py
+        raise KeyError(f"no point at x={x!r} in {series_name!r}")
+
+    def format_table(self) -> str:
+        """Render the figure's data as an aligned text table."""
+        names = list(self.series)
+        xs = self.xs()
+        header = [self.x_label] + names
+        rows = [header]
+        for x in xs:
+            row = [str(x)]
+            for name in names:
+                try:
+                    row.append(fmt_si(self.value(name, x), self.unit))
+                except KeyError:
+                    row.append("-")
+            rows.append(row)
+        widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+        lines = [f"{self.figure}: {self.title}  [{self.y_label}]"]
+        for i, row in enumerate(rows):
+            lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+            if i == 0:
+                lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.format_table()

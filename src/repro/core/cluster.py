@@ -1,0 +1,100 @@
+"""Distributed-controller support (Sec VI-C).
+
+The paper: "MIC can be easily deployed on distributed controllers.  As long
+as we ensure each MIC has a unique ID, our collision avoidance mechanism
+can guarantee the correctness of routing.  Therefore, we can assign a
+unique ID space for each controller."
+
+:class:`IdSpacePartition` is exactly that assignment: it splits the m-flow
+ID value space into disjoint contiguous shards, one per controller, and
+hands out :class:`ShardedFlowIdAllocator` views whose IDs can never collide
+across controllers.  A sharded MC is an ordinary :class:`MimicController`
+whose allocator is swapped for its shard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .collision import FlowIdAllocator
+from .controller import MimicController
+
+__all__ = ["IdSpacePartition", "ShardedFlowIdAllocator", "shard_controllers"]
+
+
+class ShardedFlowIdAllocator(FlowIdAllocator):
+    """A flow-ID allocator confined to ``[base, base + size)``."""
+
+    def __init__(self, base: int, size: int):
+        if base < 0 or size < 1:
+            raise ValueError("bad shard bounds")
+        super().__init__(size)
+        self.base = base
+        self.size = size
+
+    def allocate(self) -> int:
+        """A unique live ID from this shard's range."""
+        return self.base + super().allocate()
+
+    def release(self, fid: int) -> None:
+        """Recycle an ID belonging to this shard."""
+        if not self.base <= fid < self.base + self.size:
+            raise ValueError(f"flow id {fid} outside shard")
+        super().release(fid - self.base)
+
+    def is_live(self, fid: int) -> bool:
+        """True if the ID is live in this shard."""
+        if not self.base <= fid < self.base + self.size:
+            return False
+        return super().is_live(fid - self.base)
+
+    def owns(self, fid: int) -> bool:
+        """True if the ID falls in this shard's range."""
+        return self.base <= fid < self.base + self.size
+
+
+@dataclass(frozen=True)
+class IdSpacePartition:
+    """Disjoint contiguous shards over one hash value space."""
+
+    total_values: int
+    n_shards: int
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValueError("need at least one shard")
+        if self.total_values < self.n_shards:
+            raise ValueError("fewer ID values than shards")
+
+    def shard(self, index: int) -> ShardedFlowIdAllocator:
+        """The allocator for one shard index."""
+        if not 0 <= index < self.n_shards:
+            raise ValueError(f"shard index {index} out of range")
+        base_size = self.total_values // self.n_shards
+        remainder = self.total_values % self.n_shards
+        size = base_size + (1 if index < remainder else 0)
+        base = index * base_size + min(index, remainder)
+        return ShardedFlowIdAllocator(base, size)
+
+    def shards(self) -> list[ShardedFlowIdAllocator]:
+        """Allocators for every shard."""
+        return [self.shard(i) for i in range(self.n_shards)]
+
+
+def shard_controllers(mics: list[MimicController]) -> IdSpacePartition:
+    """Re-key a set of attached MimicControllers onto disjoint ID shards.
+
+    All controllers must share one value-space size (same ``flow_bits`` and
+    ``flow_shift``).  Returns the partition for inspection.
+    """
+    if not mics:
+        raise ValueError("no controllers")
+    sizes = {next(iter(m.mn_spaces.values())).flow_id_values for m in mics}
+    if len(sizes) != 1:
+        raise ValueError("controllers have differing ID value spaces")
+    partition = IdSpacePartition(sizes.pop(), len(mics))
+    for i, mic in enumerate(mics):
+        if mic.flow_ids.live_count:
+            raise ValueError("cannot re-shard a controller with live flows")
+        mic.flow_ids = partition.shard(i)
+    return partition

@@ -1,0 +1,913 @@
+"""The Mimic Controller (MC) — MIC's control application (Sec IV-B).
+
+The MC lives in the SDN controller.  It:
+
+* answers encrypted channel requests from initiators (carried as ordinary
+  packets addressed to the MC's service address, punted by the first switch),
+* calculates an independent walk, Mimic Node set and per-segment m-addresses
+  for every requested m-flow (routing calculation, Sec IV-B2),
+* enforces collision freedom through MAGA: per-MN independent hash
+  functions, disjoint per-MN label sets, unique live flow IDs, and a
+  defense-in-depth match-key registry (Sec IV-B3),
+* compiles and installs the rewrite/forward/drop rules, including partial
+  multicast decoy groups (Sec IV-C),
+* manages channel lifecycle: grants, activity notifications, reuse, idle
+  expiry and teardown (Sec IV-B1),
+* keeps the hidden-service map for receiver anonymity (Sec IV-D).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+from ..crypto import DEFAULT_COSTS, CryptoCostModel, Key, Sealed, seal, unseal
+from ..net.addresses import IPv4Addr, MacAddr, ip
+from ..net.flowtable import (
+    Drop,
+    FlowEntry,
+    GroupEntry,
+    Match,
+    Output,
+    PopMpls,
+    PushMpls,
+    SetField,
+)
+from ..net.packet import Packet
+from ..net.switch import Switch
+from ..sdn.controller import Controller, ControllerApp
+from .channel import (
+    ChannelGrant,
+    FlowGrant,
+    MFlowPlan,
+    MimicChannel,
+    next_channel_id,
+)
+from .collision import (
+    CollisionRegistry,
+    FlowIdAllocator,
+    MAddress,
+    MnAddressSpace,
+)
+from .hidden import HiddenServiceMap
+from .labels import LabelSpace
+from .restrictions import AddressRestrictions
+
+__all__ = [
+    "MimicController",
+    "McRequest",
+    "McReply",
+    "MC_IP",
+    "MC_PORT",
+    "MIC_PRIORITY",
+]
+
+#: the MC's service address — not a host; switches punt packets sent here
+MC_IP = ip("10.255.255.254")
+MC_PORT = 6653
+
+#: m-flow rules shadow common L3 rules (priority 10)
+MIC_PRIORITY = 50
+DECOY_DROP_PRIORITY = 60
+
+REQUEST_WIRE_BYTES = 128
+REPLY_WIRE_BYTES = 96
+
+_group_ids = itertools.count(1)
+_cookie_ids = itertools.count(0x4D49_0000)  # 'MI' prefix for readability
+
+
+@dataclass(frozen=True)
+class McRequest:
+    """Initiator → MC message (sent sealed under the shared key)."""
+
+    kind: str  # "establish" | "shutdown" | "notify"
+    reply_port: int = 0
+    responder: Union[str, IPv4Addr, None] = None  # nickname or address
+    service_port: int = 0
+    n_flows: int = 1
+    n_mns: int = 3
+    decoys: int = 0
+    channel_id: int = 0  # for shutdown / notify
+    proto: str = "tcp"  # transport of the m-flows ("tcp" | "udp")
+
+
+@dataclass(frozen=True)
+class McReply:
+    """MC → initiator acknowledgement (sealed under the shared key)."""
+
+    ok: bool
+    grant: Optional[ChannelGrant] = None
+    error: str = ""
+
+
+class EstablishError(RuntimeError):
+    """The MC could not set up a channel (bad responder, exhausted IDs…)."""
+
+
+class MimicController(ControllerApp):
+    """MIC's control application; register it on a :class:`Controller`."""
+
+    name = "mic"
+
+    def __init__(
+        self,
+        mn_strategy: str = "random",
+        mn_bits: int = 16,
+        flow_bits: int = 16,
+        mn_shift: int = 2,
+        flow_shift: int = 6,
+        idle_timeout_s: Optional[float] = None,
+        shared_flow_hash: bool = False,
+        costs: CryptoCostModel = DEFAULT_COSTS,
+    ):
+        if mn_strategy not in ("random", "spread"):
+            raise ValueError(f"unknown MN strategy {mn_strategy!r}")
+        self.mn_strategy = mn_strategy
+        self.mn_bits = mn_bits
+        self.flow_bits = flow_bits
+        self.mn_shift = mn_shift
+        self.flow_shift = flow_shift
+        self.idle_timeout_s = idle_timeout_s
+        #: ablation switch: one global F instead of per-MN functions
+        self.shared_flow_hash = shared_flow_hash
+        self.costs = costs
+        self.channels: dict[int, MimicChannel] = {}
+        self.requests_served = 0
+        self.cpu_busy_s = 0.0  # MC-side compute accounting
+
+    # ------------------------------------------------------------------
+    def attach(self, controller: Controller) -> None:
+        """Wire the app to a controller: build label spaces, MN hashes, restrictions."""
+        super().attach(controller)
+        self.net = controller.network
+        self.sim = controller.sim
+        self.rng = self.sim.rng("mic-controller")
+        self.labels = LabelSpace(
+            self.rng, mn_bits=self.mn_bits, flow_bits=self.flow_bits,
+            mn_shift=self.mn_shift,
+        )
+        # Any switch is a potential MN (Sec III-A): register them all.
+        from .maga import ReversibleHash
+
+        shared = None
+        if self.shared_flow_hash:
+            shared = ReversibleHash.random(
+                self.rng,
+                widths=(32, 32, self.labels.mn_bits, self.labels.flow_bits),
+                shift=self.flow_shift,
+            )
+        self.mn_spaces: dict[str, MnAddressSpace] = {}
+        for sw in self.net.topo.switches():
+            self.labels.register_mn(sw)
+            self.mn_spaces[sw] = MnAddressSpace(
+                sw, self.rng, self.labels, flow_shift=self.flow_shift,
+                shared_hash=shared,
+            )
+        self.restrictions = AddressRestrictions(controller.view)
+        flow_id_values = next(iter(self.mn_spaces.values())).flow_id_values
+        self.flow_ids = FlowIdAllocator(flow_id_values)
+        self.registry = CollisionRegistry()
+        self.hidden = HiddenServiceMap()
+        self._client_keys: dict[str, Key] = {}
+        self._used_sports: dict[str, set[int]] = {}
+        self._ip_to_mac = {
+            self.net.topo.host_ip(h): self.net.topo.host_mac(h)
+            for h in self.net.topo.hosts()
+        }
+        self._ip_to_host = {
+            self.net.topo.host_ip(h): h for h in self.net.topo.hosts()
+        }
+        if self.idle_timeout_s is not None:
+            self.sim.process(self._expiry_loop(), name="mic.expiry")
+
+    # -- key management (pre-exchanged via RSA/DH, Sec VI) ------------------
+    def client_key(self, host_name: str) -> Key:
+        """The per-client symmetric key shared with the MC."""
+        if host_name not in self._client_keys:
+            self._client_keys[host_name] = Key(label=f"mc-{host_name}")
+        return self._client_keys[host_name]
+
+    # -- hidden services ----------------------------------------------------
+    def register_hidden_service(self, nickname: str, host_name: str, port: int):
+        """Register a nickname → (host, port) hidden service."""
+        if host_name not in self.net.topo.hosts():
+            raise ValueError(f"unknown host {host_name!r}")
+        return self.hidden.register(nickname, host_name, port)
+
+    # ------------------------------------------------------------------
+    # Control-message path (packets addressed to MC_IP)
+    # ------------------------------------------------------------------
+    def on_packet_in(self, switch: Switch, packet: Packet, in_port: int) -> bool:
+        """Claim packets addressed to the MC's service address."""
+        if packet.ip_dst != MC_IP or packet.dport != MC_PORT:
+            return False
+        self.sim.process(
+            self._serve_request(switch, packet, in_port), name="mic.serve"
+        )
+        return True
+
+    def _serve_request(self, switch: Switch, packet: Packet, in_port: int):
+        self.requests_served += 1
+        initiator_host = self._ip_to_host.get(packet.ip_src)
+        if initiator_host is None:
+            return
+        key = self.client_key(initiator_host)
+        try:
+            request = unseal(key, packet.payload)
+        except Exception:
+            return  # not decryptable under the claimed sender's key
+        # Decrypt cost + request-processing compute on the controller.
+        cpu = self.costs.aes(REQUEST_WIRE_BYTES) + self.net.params.controller_request_cpu_s
+        self.cpu_busy_s += cpu
+        yield self.sim.timeout(cpu)
+
+        if request.kind == "establish":
+            try:
+                grant = yield from self.establish(
+                    initiator_host,
+                    request.responder,
+                    service_port=request.service_port,
+                    n_flows=request.n_flows,
+                    n_mns=request.n_mns,
+                    decoys=request.decoys,
+                    proto=request.proto,
+                )
+                reply = McReply(ok=True, grant=grant)
+            except EstablishError as exc:
+                reply = McReply(ok=False, error=str(exc))
+        elif request.kind == "shutdown":
+            self.teardown(request.channel_id)
+            reply = McReply(ok=True)
+        elif request.kind == "notify":
+            ch = self.channels.get(request.channel_id)
+            if ch is not None:
+                ch.touch(self.sim.now)
+            reply = McReply(ok=True)
+        else:
+            reply = McReply(ok=False, error=f"unknown request {request.kind!r}")
+
+        out = Packet(
+            eth_src=MacAddr(0xFFFFFF_000001),
+            eth_dst=self.net.topo.host_mac(initiator_host),
+            ip_src=MC_IP,
+            ip_dst=packet.ip_src,
+            proto="udp",
+            sport=MC_PORT,
+            dport=request.reply_port,
+            payload=seal(key, reply),
+            payload_size=REPLY_WIRE_BYTES,
+        )
+        self.controller.packet_out(switch.name, out, in_port)
+
+    # ------------------------------------------------------------------
+    # Channel establishment (Sec IV-A1, IV-B2)
+    # ------------------------------------------------------------------
+    def establish(
+        self,
+        initiator: str,
+        responder: Union[str, IPv4Addr],
+        service_port: int = 0,
+        n_flows: int = 1,
+        n_mns: int = 3,
+        decoys: int = 0,
+        proto: str = "tcp",
+    ):
+        """Process generator: plan, install, and grant a mimic channel."""
+        if n_flows < 1 or n_mns < 1:
+            raise EstablishError("need n_flows >= 1 and n_mns >= 1")
+        if proto not in ("tcp", "udp"):
+            raise EstablishError(f"unsupported transport {proto!r}")
+        responder_host, responder_port = self._resolve_responder(
+            responder, service_port
+        )
+        if responder_host == initiator:
+            raise EstablishError("initiator and responder are the same host")
+
+        channel_id = next_channel_id()
+        plans: list[MFlowPlan] = []
+        try:
+            for _ in range(n_flows):
+                # Each m-flow gets its own cookie and registry owner, so a
+                # single flow can be torn down or repaired independently.
+                cookie = next(_cookie_ids)
+                owner = f"ch{channel_id}/c{cookie}"
+                plans.append(
+                    self._plan_flow(
+                        initiator, responder_host, responder_port, n_mns,
+                        cookie, owner, proto=proto,
+                    )
+                )
+        except Exception:
+            for plan in plans:
+                self._release_flow(channel_id, plan)
+            raise
+
+        # Compile and install every rule; installs run in parallel.
+        events = []
+        touched: set[str] = set()
+        for plan in plans:
+            owner = f"ch{channel_id}/c{plan.cookie}"
+            rules, groups, drops = self._compile_flow(plan, owner, decoys)
+            for sw_name, group in groups:
+                events.append(self.controller.install_group(sw_name, group))
+                touched.add(sw_name)
+            for sw_name, entry in rules + drops:
+                events.append(self.controller.install(sw_name, entry))
+                touched.add(sw_name)
+        try:
+            yield self.sim.all_of(events)
+        except Exception as exc:
+            # A switch refused an install (e.g. table full): remove whatever
+            # landed and surface a clean failure.
+            for sw_name in touched:
+                for plan in plans:
+                    self.controller.remove_by_cookie(sw_name, plan.cookie)
+            for plan in plans:
+                self._release_flow(channel_id, plan)
+            raise EstablishError(f"rule installation failed: {exc}") from exc
+
+        channel = MimicChannel(
+            channel_id=channel_id,
+            initiator=initiator,
+            responder=responder_host,
+            flows=plans,
+            created_at=self.sim.now,
+            last_activity=self.sim.now,
+            decoys=decoys,
+        )
+        channel._touched_switches = sorted(touched)  # type: ignore[attr-defined]
+        self.channels[channel_id] = channel
+        self.net.trace.emit(
+            self.sim.now,
+            "mic.establish",
+            "MC",
+            channel_id=channel_id,
+            initiator=initiator,
+            responder=responder_host,
+            n_flows=n_flows,
+            n_mns=n_mns,
+        )
+        return ChannelGrant(
+            channel_id=channel_id,
+            flows=tuple(
+                FlowGrant(
+                    entry_ip=p.entry.dst_ip,
+                    entry_port=p.entry.dport,
+                    source_port=p.entry.sport,
+                )
+                for p in plans
+            ),
+        )
+
+    def _resolve_responder(
+        self, responder: Union[str, IPv4Addr], service_port: int
+    ) -> tuple[str, int]:
+        if isinstance(responder, IPv4Addr):
+            host = self._ip_to_host.get(responder)
+            if host is None:
+                raise EstablishError(f"no host with address {responder}")
+            if not service_port:
+                raise EstablishError("service_port required with a direct address")
+            return host, service_port
+        if isinstance(responder, str):
+            if responder in self.net.topo.hosts():
+                if not service_port:
+                    raise EstablishError("service_port required with a host name")
+                return responder, service_port
+            svc = self.hidden.resolve(responder)
+            if svc is None:
+                raise EstablishError(f"unknown service {responder!r}")
+            return svc.host_name, svc.port
+        raise EstablishError(f"bad responder spec {responder!r}")
+
+    # -- planning -------------------------------------------------------
+    def _plan_flow(
+        self,
+        initiator: str,
+        responder: str,
+        responder_port: int,
+        n_mns: int,
+        cookie: int,
+        owner: str,
+        flow_id: Optional[int] = None,
+        entry_pin: Optional[MAddress] = None,
+        delivery_pin: Optional[MAddress] = None,
+        proto: str = "tcp",
+    ) -> MFlowPlan:
+        """Plan one m-flow.
+
+        ``flow_id``/``entry_pin``/``delivery_pin`` support repair: the flow
+        keeps its identity and its host-visible addresses while the interior
+        of the walk is re-drawn over the current routing view.
+        """
+        view = self.controller.view
+        walk = view.paths_with_min_switches(initiator, responder, n_mns, self.rng)
+        switch_positions = [
+            i for i in range(1, len(walk) - 1)
+            if self.net.topo.kind(walk[i]) == "switch"
+        ]
+        mn_positions = self._choose_mns(switch_positions, n_mns)
+        if flow_id is None:
+            flow_id = self.flow_ids.allocate()
+        sport = entry_pin.sport if entry_pin else self._assign_sport(initiator)
+
+        init_ip = self.net.topo.host_ip(initiator)
+        resp_ip = self.net.topo.host_ip(responder)
+
+        endpoints = (initiator, responder)
+        first = MAddressDraw(src_ip=init_ip, sport=sport)
+        if entry_pin is not None:
+            first = MAddressDraw(
+                src_ip=init_ip, sport=sport,
+                dst_ip=entry_pin.dst_ip, dport=entry_pin.dport,
+            )
+        last = MAddressDraw(dst_ip=resp_ip, dport=responder_port)
+        if delivery_pin is not None:
+            last = MAddressDraw(
+                src_ip=delivery_pin.src_ip, sport=delivery_pin.sport,
+                dst_ip=resp_ip, dport=responder_port,
+            )
+        fwd = self._draw_addresses(
+            walk, mn_positions, flow_id,
+            first=first,
+            last=last,
+            owner=owner,
+            endpoints=endpoints,
+        )
+        rwalk = list(reversed(walk))
+        rev_positions = sorted(len(walk) - 1 - p for p in mn_positions)
+        delivery = fwd[-1]
+        entry = fwd[0]
+        rev = self._draw_addresses(
+            rwalk, rev_positions, flow_id,
+            first=MAddressDraw(
+                src_ip=resp_ip, sport=delivery.dport,
+                dst_ip=delivery.src_ip, dport=delivery.sport,
+            ),
+            last=MAddressDraw(
+                src_ip=entry.dst_ip, sport=entry.dport,
+                dst_ip=init_ip, dport=entry.sport,
+            ),
+            owner=owner,
+            endpoints=endpoints,
+        )
+        return MFlowPlan(
+            flow_id=flow_id,
+            walk=walk,
+            mn_positions=mn_positions,
+            fwd_addrs=fwd,
+            rev_addrs=rev,
+            cookie=cookie,
+            proto=proto,
+        )
+
+    def _choose_mns(self, switch_positions: list[int], n_mns: int) -> list[int]:
+        if len(switch_positions) < n_mns:
+            raise EstablishError(
+                f"path has {len(switch_positions)} switches, need {n_mns} MNs"
+            )
+        if self.mn_strategy == "spread":
+            # Evenly spaced along the path.
+            step = len(switch_positions) / n_mns
+            idx = sorted({int(i * step) for i in range(n_mns)})
+            # Top up if rounding collapsed slots.
+            pool = [i for i in range(len(switch_positions)) if i not in idx]
+            while len(idx) < n_mns:
+                idx.append(pool.pop(0))
+            return sorted(switch_positions[i] for i in sorted(idx)[:n_mns])
+        return sorted(self.rng.sample(switch_positions, n_mns))
+
+    def _assign_sport(self, initiator: str) -> int:
+        used = self._used_sports.setdefault(initiator, set())
+        for _ in range(4096):
+            candidate = self.rng.randint(20000, 60000)
+            if candidate not in used:
+                used.add(candidate)
+                return candidate
+        raise EstablishError(f"no free source ports for {initiator}")
+
+    def _draw_addresses(
+        self,
+        walk: list[str],
+        mn_positions: list[int],
+        flow_id: int,
+        first: "MAddressDraw",
+        last: "MAddressDraw",
+        owner: str,
+        endpoints: tuple[str, str] = (),
+    ) -> list[MAddress]:
+        """Segment addresses A[0..N] for one direction of a walk.
+
+        ``first`` pins the real fields of the initiator-side segment,
+        ``last`` those of the delivery segment; everything unpinned is drawn
+        from the segment's plausible host pairs and the owning MN's hash
+        class (label), with a retry loop guarding against random-draw
+        collisions with already-registered keys.
+        """
+        boundaries = [0] + mn_positions + [len(walk) - 1]
+        addrs: list[MAddress] = []
+        n_segments = len(mn_positions) + 1
+        for seg in range(n_segments):
+            seg_nodes = walk[boundaries[seg] : boundaries[seg + 1] + 1]
+            pins = []
+            if seg == 0:
+                pins.append(first)
+            if seg == n_segments - 1:
+                pins.append(last)
+            # A segment is labeled only between two MNs: the first MN pushes
+            # the shim, the last MN pops it (hosts cannot parse MPLS).
+            labeled = 0 < seg < n_segments - 1
+            mn_name = walk[mn_positions[seg - 1]] if labeled else None
+            addr = self._draw_segment(
+                seg_nodes, pins, mn_name, flow_id, owner, endpoints
+            )
+            addrs.append(addr)
+        return addrs
+
+    def _draw_segment(
+        self,
+        seg_nodes: list[str],
+        pins: list["MAddressDraw"],
+        mn_name: Optional[str],
+        flow_id: int,
+        owner: str,
+        endpoints: tuple[str, str] = (),
+    ) -> MAddress:
+        pin_src = next((p.src_ip for p in pins if p.src_ip is not None), None)
+        pin_dst = next((p.dst_ip for p in pins if p.dst_ip is not None), None)
+        pin_sport = next((p.sport for p in pins if p.sport is not None), None)
+        pin_dport = next((p.dport for p in pins if p.dport is not None), None)
+
+        pool = self.restrictions.pairs_for_segment(seg_nodes)
+        if pin_src is not None:
+            src_host = self._ip_to_host.get(pin_src)
+            narrowed = [p for p in pool if p[0] == src_host]
+            pool = narrowed or pool
+        if pin_dst is not None:
+            dst_host = self._ip_to_host.get(pin_dst)
+            narrowed = [p for p in pool if p[1] == dst_host]
+            pool = narrowed or pool
+        # Fake draws must never name the channel's real endpoints: a drawn
+        # address equal to the true initiator/responder would hand the
+        # adversary a correct identity (the entry address "hides the address
+        # of the responder", Sec IV-A1).  Relax only if nothing else exists.
+        if endpoints:
+            banned = set(endpoints)
+            strict = [
+                p
+                for p in pool
+                if (pin_src is not None or p[0] not in banned)
+                and (pin_dst is not None or p[1] not in banned)
+            ]
+            pool = strict or pool
+
+        for _attempt in range(64):
+            a, b = self.rng.choice(pool)
+            src_ip = pin_src if pin_src is not None else self.net.topo.host_ip(a)
+            dst_ip = pin_dst if pin_dst is not None else self.net.topo.host_ip(b)
+            sport = pin_sport if pin_sport is not None else self.rng.randint(1024, 65535)
+            dport = pin_dport if pin_dport is not None else self.rng.randint(1024, 65535)
+            if mn_name is None:
+                mpls = None  # unlabeled first segment (hosts cannot push MPLS)
+            else:
+                mpls = self.mn_spaces[mn_name].draw_label(
+                    flow_id, src_ip, dst_ip, self.rng
+                )
+            addr = MAddress(src_ip, dst_ip, sport, dport, mpls)
+            key = (str(src_ip), str(dst_ip), mpls, sport, dport)
+            conflict = any(
+                self.registry.owner(node, key) not in (None, owner)
+                for node in seg_nodes
+            )
+            if not conflict:
+                for node in seg_nodes:
+                    if self.net.topo.kind(node) == "switch":
+                        self.registry.register(node, key, owner)
+                return addr
+        raise EstablishError("could not draw a collision-free m-address")
+
+    # -- rule compilation ------------------------------------------------
+    def _compile_flow(
+        self, plan: MFlowPlan, owner: str, decoys: int
+    ) -> tuple[list, list, list]:
+        rules = self._compile_direction(
+            plan.walk, plan.mn_positions, plan.fwd_addrs, plan.cookie,
+            plan.proto,
+        )
+        rev_positions = sorted(len(plan.walk) - 1 - p for p in plan.mn_positions)
+        rules += self._compile_direction(
+            list(reversed(plan.walk)), rev_positions, plan.rev_addrs,
+            plan.cookie, plan.proto,
+        )
+        groups: list = []
+        drops: list = []
+        if decoys > 0:
+            rules, groups, drops = self._add_decoys(plan, rules, decoys, owner)
+        return rules, groups, drops
+
+    def _compile_direction(
+        self,
+        walk: list[str],
+        mn_positions: list[int],
+        addrs: list[MAddress],
+        cookie: int,
+        proto: str = "tcp",
+    ) -> list[tuple[str, FlowEntry]]:
+        rules: list[tuple[str, FlowEntry]] = []
+        mn_set = set(mn_positions)
+        for j in range(1, len(walk) - 1):
+            k_in = sum(1 for p in mn_positions if p < j)
+            k_out = sum(1 for p in mn_positions if p <= j)
+            addr_in = addrs[k_in]
+            addr_out = addrs[k_out]
+            match = self._match_for(walk, j, addr_in, proto)
+            actions = []
+            if j in mn_set:
+                actions.extend(self._rewrite_actions(addr_in, addr_out))
+            actions.append(Output(self.net.port(walk[j], walk[j + 1])))
+            rules.append(
+                (walk[j], FlowEntry(match, actions, priority=MIC_PRIORITY, cookie=cookie))
+            )
+        return rules
+
+    def _match_for(
+        self, walk: list[str], j: int, addr: MAddress, proto: str = "tcp"
+    ) -> Match:
+        return Match(
+            in_port=self.net.port(walk[j], walk[j - 1]),
+            ip_src=addr.src_ip,
+            ip_dst=addr.dst_ip,
+            proto=proto,
+            sport=addr.sport,
+            dport=addr.dport,
+            mpls=addr.mpls if addr.mpls is not None else Match.NO_MPLS,
+        )
+
+    def _rewrite_actions(self, a_in: MAddress, a_out: MAddress) -> list:
+        actions: list = []
+        if a_out.src_ip != a_in.src_ip:
+            actions.append(SetField("ip_src", a_out.src_ip))
+            actions.append(SetField("eth_src", self._mac_for(a_out.src_ip)))
+        if a_out.dst_ip != a_in.dst_ip:
+            actions.append(SetField("ip_dst", a_out.dst_ip))
+            actions.append(SetField("eth_dst", self._mac_for(a_out.dst_ip)))
+        if a_out.sport != a_in.sport:
+            actions.append(SetField("sport", a_out.sport))
+        if a_out.dport != a_in.dport:
+            actions.append(SetField("dport", a_out.dport))
+        if a_in.mpls is None and a_out.mpls is not None:
+            actions.append(PushMpls(a_out.mpls))
+        elif a_in.mpls is not None and a_out.mpls is None:
+            actions.append(PopMpls())
+        elif a_in.mpls != a_out.mpls:
+            actions.append(SetField("mpls", a_out.mpls))
+        return actions
+
+    def _mac_for(self, addr: IPv4Addr) -> MacAddr:
+        found = self._ip_to_mac.get(addr)
+        return found if found is not None else MacAddr(0xFFFFFF_0000FE)
+
+    # -- partial multicast (Sec IV-C) -----------------------------------
+    def _add_decoys(
+        self,
+        plan: MFlowPlan,
+        rules: list[tuple[str, FlowEntry]],
+        decoys: int,
+        owner: str,
+    ) -> tuple[list, list, list]:
+        """Convert the first forward MN's rule into a type-*all* group that
+        also emits decoy copies toward other ports; the decoy next hops get
+        explicit drop rules."""
+        first_mn_pos = plan.mn_positions[0]
+        mn_name = plan.walk[first_mn_pos]
+        prev_node = plan.walk[first_mn_pos - 1]
+        next_node = plan.walk[first_mn_pos + 1]
+        target_idx = None
+        for i, (sw_name, entry) in enumerate(rules):
+            if sw_name == mn_name and entry.match.in_port == self.net.port(
+                mn_name, prev_node
+            ):
+                target_idx = i
+                break
+        if target_idx is None:  # pragma: no cover - defensive
+            return rules, [], []
+        real_entry = rules[target_idx][1]
+
+        # Candidate decoy neighbors: switches adjacent to the MN, excluding
+        # the real previous/next hops.
+        neighbors = [
+            n
+            for n in self.net.topo.neighbors(mn_name)
+            if n not in (prev_node, next_node)
+            and self.net.topo.kind(n) == "switch"
+        ]
+        self.rng.shuffle(neighbors)
+        chosen = neighbors[:decoys]
+
+        buckets = [list(real_entry.actions)]
+        drops: list[tuple[str, FlowEntry]] = []
+        for neighbor in chosen:
+            seg = [mn_name, neighbor]
+            pair = self.restrictions.sample_pair(seg, self.rng)
+            d_src = self.net.topo.host_ip(pair[0])
+            d_dst = self.net.topo.host_ip(pair[1])
+            label = self.mn_spaces[mn_name].draw_label(
+                plan.flow_id, d_src, d_dst, self.rng
+            )
+            d_sport = self.rng.randint(1024, 65535)
+            d_dport = self.rng.randint(1024, 65535)
+            bucket = [
+                SetField("ip_src", d_src),
+                SetField("eth_src", self._mac_for(d_src)),
+                SetField("ip_dst", d_dst),
+                SetField("eth_dst", self._mac_for(d_dst)),
+                SetField("sport", d_sport),
+                SetField("dport", d_dport),
+                PushMpls(label),
+                Output(self.net.port(mn_name, neighbor)),
+            ]
+            buckets.append(bucket)
+            key = (str(d_src), str(d_dst), label, d_sport, d_dport)
+            self.registry.register(neighbor, key, owner)
+            drop_match = Match(
+                in_port=self.net.port(neighbor, mn_name),
+                ip_src=d_src,
+                ip_dst=d_dst,
+                sport=d_sport,
+                dport=d_dport,
+                mpls=label,
+            )
+            drops.append(
+                (
+                    neighbor,
+                    FlowEntry(
+                        drop_match, [Drop()],
+                        priority=DECOY_DROP_PRIORITY, cookie=plan.cookie,
+                    ),
+                )
+            )
+
+        group_id = next(_group_ids)
+        group = GroupEntry(group_id=group_id, buckets=buckets, cookie=plan.cookie)
+        from ..net.flowtable import Group as GroupAction
+
+        rules[target_idx] = (
+            mn_name,
+            FlowEntry(
+                real_entry.match,
+                [GroupAction(group_id)],
+                priority=real_entry.priority,
+                cookie=real_entry.cookie,
+            ),
+        )
+        return rules, [(mn_name, group)], drops
+
+    # -- lifecycle --------------------------------------------------------
+    def teardown(self, channel_id: int) -> None:
+        """Remove every rule of a channel and recycle its identifiers."""
+        channel = self.channels.pop(channel_id, None)
+        if channel is None:
+            return
+        channel.state = "closed"
+        for sw_name in getattr(channel, "_touched_switches", []):
+            for plan in channel.flows:
+                self.controller.remove_by_cookie(sw_name, plan.cookie)
+        for plan in channel.flows:
+            self._release_flow(channel_id, plan)
+            used = self._used_sports.get(channel.initiator)
+            if used is not None:
+                used.discard(plan.entry.sport)
+        self.net.trace.emit(
+            self.sim.now, "mic.teardown", "MC", channel_id=channel_id
+        )
+
+    def _release_flow(self, channel_id: int, plan: MFlowPlan) -> None:
+        self.registry.release_owner(f"ch{channel_id}/c{plan.cookie}")
+        if self.flow_ids.is_live(plan.flow_id):
+            self.flow_ids.release(plan.flow_id)
+
+    # -- failure handling --------------------------------------------------
+    def on_link_event(self, a: str, b: str, up: bool) -> None:
+        """Repair every m-flow whose walk crossed a failed link.
+
+        The controller's routing view has already been updated; we re-plan
+        the affected flows over the surviving fabric while pinning their
+        entry and delivery addresses, so both endpoints' transport
+        connections survive the rerouting untouched.
+        """
+        if up:
+            return
+        for channel in list(self.channels.values()):
+            for idx, plan in enumerate(channel.flows):
+                if self._walk_uses(plan.walk, a, b):
+                    self.sim.process(
+                        self._repair_flow(channel, idx), name="mic.repair"
+                    )
+
+    @staticmethod
+    def _walk_uses(walk: Sequence[str], a: str, b: str) -> bool:
+        return any(
+            (u, v) in ((a, b), (b, a)) for u, v in zip(walk, walk[1:])
+        )
+
+    def _repair_flow(self, channel: MimicChannel, idx: int):
+        old = channel.flows[idx]
+        owner = f"ch{channel.channel_id}/c{old.cookie}"
+        # Remove the dead flow's rules and registry claims.
+        for node in set(old.walk):
+            if self.net.topo.kind(node) == "switch":
+                self.controller.remove_by_cookie(node, old.cookie)
+        self.registry.release_owner(owner)
+        # Re-plan over the surviving fabric, pinning the flow's identity.
+        new_plan = self._plan_flow(
+            channel.initiator,
+            channel.responder,
+            old.delivery.dport,
+            len(old.mn_positions),
+            cookie=old.cookie,
+            owner=owner,
+            flow_id=old.flow_id,
+            entry_pin=old.entry,
+            delivery_pin=old.delivery,
+            proto=old.proto,
+        )
+        rules, groups, drops = self._compile_flow(new_plan, owner, channel.decoys)
+        events = []
+        touched = set(getattr(channel, "_touched_switches", []))
+        for sw_name, group in groups:
+            events.append(self.controller.install_group(sw_name, group))
+            touched.add(sw_name)
+        for sw_name, entry in rules + drops:
+            events.append(self.controller.install(sw_name, entry))
+            touched.add(sw_name)
+        yield self.sim.all_of(events)
+        channel.flows[idx] = new_plan
+        channel._touched_switches = sorted(touched)  # type: ignore[attr-defined]
+        self.net.trace.emit(
+            self.sim.now,
+            "mic.repair",
+            "MC",
+            channel_id=channel.channel_id,
+            flow_id=old.flow_id,
+            new_walk=list(new_plan.walk),
+        )
+
+    def _expiry_loop(self):
+        while True:
+            yield self.sim.timeout(self.idle_timeout_s)
+            now = self.sim.now
+            stale = [
+                cid
+                for cid, ch in self.channels.items()
+                if ch.idle_for(now) > self.idle_timeout_s
+            ]
+            for cid in stale:
+                self.teardown(cid)
+
+    # -- introspection ------------------------------------------------------
+    def channel_of(self, channel_id: int) -> Optional[MimicChannel]:
+        """Live channel state by ID, or None."""
+        return self.channels.get(channel_id)
+
+    @property
+    def live_channels(self) -> int:
+        """Number of live channels."""
+        return len(self.channels)
+
+    def rule_footprint(self) -> dict[str, int]:
+        """MIC rules currently installed, per switch (TCAM load view)."""
+        counts: dict[str, int] = {}
+        for sw in self.net.switches():
+            n = sum(
+                1 for e in sw.table.entries
+                if e.priority in (MIC_PRIORITY, DECOY_DROP_PRIORITY)
+            )
+            if n:
+                counts[sw.name] = n
+        return counts
+
+    def stats(self) -> dict:
+        """Operational snapshot of the MC."""
+        footprint = self.rule_footprint()
+        return {
+            "live_channels": self.live_channels,
+            "live_flows": self.flow_ids.live_count,
+            "registry_keys": self.registry.total_keys(),
+            "requests_served": self.requests_served,
+            "mc_cpu_busy_s": self.cpu_busy_s,
+            "rules_total": sum(footprint.values()),
+            "rules_max_per_switch": max(footprint.values(), default=0),
+            "switches_touched": len(footprint),
+        }
+
+
+@dataclass(frozen=True)
+class MAddressDraw:
+    """Pinning spec for one end of a segment draw."""
+
+    src_ip: Optional[IPv4Addr] = None
+    dst_ip: Optional[IPv4Addr] = None
+    sport: Optional[int] = None
+    dport: Optional[int] = None

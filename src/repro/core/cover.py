@@ -1,0 +1,112 @@
+"""Cover traffic: dummy mimic channels that flatten the traffic matrix.
+
+**Extension beyond the paper.**  MIC's rewriting hides *who* talks to whom,
+but the volume arriving at a host's access link is necessarily real — an
+adversary tapping edge switches can still find a hub by byte counts (the
+paper's motivating "locate the metadata server" attack, measured in
+Abl-9/10).  The classic fix, referenced in the paper's related work
+(Tarzan), is cover traffic.
+
+:class:`CoverTraffic` drives it through ordinary mimic channels: dummy
+channels between random host pairs, each carrying a random payload to a
+sink service, indistinguishable on the wire from real channels (because
+they *are* real channels).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .client import MicServer
+from .deployment import MicDeployment
+
+__all__ = ["CoverTraffic", "COVER_PORT"]
+
+#: the sink service port cover channels terminate at
+COVER_PORT = 9898
+
+
+class CoverTraffic:
+    """Dummy-channel generator over a :class:`MicDeployment`."""
+
+    def __init__(
+        self,
+        dep: MicDeployment,
+        hosts: Optional[Sequence[str]] = None,
+        port: int = COVER_PORT,
+    ):
+        self.dep = dep
+        self.sim = dep.sim
+        self.port = port
+        self.hosts = list(hosts) if hosts is not None else dep.net.topo.hosts()
+        self.rng = self.sim.rng("cover-traffic")
+        self.channels_launched = 0
+        self.bytes_sent = 0
+        self._sinks: dict[str, MicServer] = {}
+        for h in self.hosts:
+            self._install_sink(h)
+
+    def _install_sink(self, host_name: str) -> None:
+        server = MicServer(self.dep.net.host(host_name), self.port)
+        self._sinks[host_name] = server
+        self.sim.process(self._sink_loop(server), name=f"cover.sink.{host_name}")
+
+    def _sink_loop(self, server: MicServer):
+        while True:
+            stream = yield server.accept()
+            self.sim.process(self._drain(stream), name="cover.drain")
+
+    def _drain(self, stream):
+        while True:
+            data = yield stream.recv(65536)
+            if not data:
+                return
+
+    # ------------------------------------------------------------------
+    def start(
+        self,
+        rate_per_s: float,
+        horizon_s: float,
+        bytes_low: int = 2_000,
+        bytes_high: int = 40_000,
+        n_mns: int = 2,
+    ) -> None:
+        """Launch dummy channels as a Poisson process on [now, now+horizon).
+
+        Each dummy channel picks a uniform random (initiator, responder)
+        pair, pushes a uniform random payload through it, and closes.
+        """
+        if rate_per_s <= 0 or horizon_s <= 0:
+            raise ValueError("rate and horizon must be positive")
+        self.sim.process(
+            self._arrival_loop(rate_per_s, horizon_s, bytes_low, bytes_high,
+                               n_mns),
+            name="cover.arrivals",
+        )
+
+    def _arrival_loop(self, rate, horizon, lo, hi, n_mns):
+        end = self.sim.now + horizon
+        while True:
+            gap = self.rng.expovariate(rate)
+            if self.sim.now + gap >= end:
+                return
+            yield self.sim.timeout(gap)
+            src, dst = self.rng.sample(self.hosts, 2)
+            nbytes = self.rng.randint(lo, hi)
+            self.sim.process(
+                self._one_dummy(src, dst, nbytes, n_mns), name="cover.dummy"
+            )
+
+    def _one_dummy(self, src: str, dst: str, nbytes: int, n_mns: int):
+        endpoint = self.dep.endpoint(src)
+        try:
+            stream = yield from endpoint.connect(
+                dst, service_port=self.port, n_mns=n_mns
+            )
+        except Exception:
+            return  # fabric congestion/exhaustion: drop this dummy quietly
+        self.channels_launched += 1
+        stream.send(b"\x00" * nbytes)
+        self.bytes_sent += nbytes
+        yield self.sim.timeout(0.05)
+        yield from endpoint.shutdown(stream)

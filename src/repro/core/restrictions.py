@@ -1,0 +1,79 @@
+"""Per-link m-address plausibility restrictions.
+
+Sec IV-B3: "the m_src_ip and m_dst_ip should subject to different
+restrictions on different MNs" — e.g. in a fat-tree, packets leaving toward
+the core must carry source addresses from the subtree below, or an observer
+could tell a fake address from a real one.
+
+We generalize the paper's example to any topology: a pair of real hosts
+(a, b) is *plausible* on directed link u→v iff some equal-cost shortest path
+from a to b traverses u→v.  An m-address pair drawn from the plausible set
+of every link of a segment is indistinguishable from a routed common flow at
+every observation point on that segment.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..sdn.discovery import TopologyView
+
+__all__ = ["AddressRestrictions"]
+
+
+class AddressRestrictions:
+    """Plausible (src_host, dst_host) sets per directed link / segment."""
+
+    def __init__(self, view: TopologyView):
+        self.view = view
+        self._link_cache: dict[tuple[str, str], list[tuple[str, str]]] = {}
+
+    def plausible_pairs(self, u: str, v: str) -> list[tuple[str, str]]:
+        """Host pairs for which u→v is on a shortest path (cached)."""
+        key = (u, v)
+        if key not in self._link_cache:
+            self._link_cache[key] = self.view.plausible_host_pairs(u, v)
+        return self._link_cache[key]
+
+    def pairs_for_segment(self, nodes: Sequence[str]) -> list[tuple[str, str]]:
+        """Pairs plausible on *every* directed link of a node segment.
+
+        Falls back to the first link's set when the intersection is empty
+        (stretched bounce walks traverse link sequences no shortest path
+        uses), and to the all-pairs universe as a last resort — a sampled
+        address is always a real host pair.
+        """
+        links = list(zip(nodes, nodes[1:]))
+        if not links:
+            return self._universe()
+        common: Optional[set[tuple[str, str]]] = None
+        for u, v in links:
+            pairs = set(self.plausible_pairs(u, v))
+            common = pairs if common is None else (common & pairs)
+            if not common:
+                break
+        if common:
+            return sorted(common)
+        first = self.plausible_pairs(*links[0])
+        return first if first else self._universe()
+
+    def _universe(self) -> list[tuple[str, str]]:
+        hosts = self.view.topo.hosts()
+        return [(a, b) for a in hosts for b in hosts if a != b]
+
+    def sample_pair(
+        self,
+        nodes: Sequence[str],
+        rng,
+        avoid: Sequence[tuple[str, str]] = (),
+    ) -> tuple[str, str]:
+        """Draw a plausible pair for a segment, avoiding listed pairs when
+        alternatives exist (used to keep decoys distinct from real draws)."""
+        pool = self.pairs_for_segment(nodes)
+        avoid_set = set(avoid)
+        preferred = [p for p in pool if p not in avoid_set]
+        return rng.choice(preferred if preferred else pool)
+
+    def is_plausible(self, u: str, v: str, src_host: str, dst_host: str) -> bool:
+        """True if the pair is plausible on directed link u→v."""
+        return (src_host, dst_host) in set(self.plausible_pairs(u, v))

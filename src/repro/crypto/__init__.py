@@ -1,0 +1,19 @@
+"""Crypto cost model and functional toy primitives.
+
+Replaces the paper's use of OpenSSL (AES for MIC's request encryption,
+RSA/DH for key exchange, TLS for the SSL baseline, onion layers for Tor).
+"""
+
+from .costmodel import DEFAULT_COSTS, CryptoCostModel
+from .primitives import Key, KeyExchange, Sealed, WrongKeyError, seal, unseal
+
+__all__ = [
+    "CryptoCostModel",
+    "DEFAULT_COSTS",
+    "Key",
+    "KeyExchange",
+    "Sealed",
+    "WrongKeyError",
+    "seal",
+    "unseal",
+]

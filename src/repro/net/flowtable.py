@@ -1,0 +1,359 @@
+"""OpenFlow-style flow table: match → actions, with priorities and groups.
+
+This is the commodity-SDN-switch abstraction MIC is designed against
+(Sec III: MNs "can only modify the header of packets" through ordinary
+southbound rules — no encryption, delaying or batching).  The table supports
+exactly the primitives the paper's design needs:
+
+* matching on ⟨in_port, eth, ipv4 src/dst, l4 ports, mpls label⟩,
+* ``set-field`` rewriting of any of those header fields,
+* ``output`` to a port, ``drop``, punt to controller,
+* ``group`` (type *all*) entries for the partial-multicast mechanism,
+* MPLS push/pop for tagging m-flows vs common flows.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field as dc_field
+from typing import Any, Optional, Sequence
+
+from .addresses import IPv4Addr, MacAddr
+from .packet import Packet
+
+__all__ = [
+    "Match",
+    "Action",
+    "SetField",
+    "Output",
+    "Group",
+    "Drop",
+    "ToController",
+    "PushMpls",
+    "PopMpls",
+    "FlowEntry",
+    "GroupEntry",
+    "FlowTable",
+    "CONTROLLER_PORT",
+]
+
+#: pseudo-port meaning "punt to the controller"
+CONTROLLER_PORT = -1
+
+_MATCHABLE = (
+    "in_port",
+    "eth_src",
+    "eth_dst",
+    "ip_src",
+    "ip_dst",
+    "proto",
+    "sport",
+    "dport",
+    "mpls",
+)
+
+_SETTABLE = (
+    "eth_src",
+    "eth_dst",
+    "ip_src",
+    "ip_dst",
+    "sport",
+    "dport",
+    "mpls",
+    "ttl",
+)
+
+
+@dataclass(frozen=True)
+class Match:
+    """A wildcard match over packet header fields.
+
+    ``None`` means "don't care".  ``mpls`` uses the sentinel
+    :data:`Match.NO_MPLS` to require *absence* of an MPLS shim (matching a
+    packet whose label is None), since ``None`` already means wildcard.
+    """
+
+    NO_MPLS = -1
+
+    in_port: Optional[int] = None
+    eth_src: Optional[MacAddr] = None
+    eth_dst: Optional[MacAddr] = None
+    ip_src: Optional[IPv4Addr] = None
+    ip_dst: Optional[IPv4Addr] = None
+    proto: Optional[str] = None
+    sport: Optional[int] = None
+    dport: Optional[int] = None
+    mpls: Optional[int] = None
+
+    def matches(self, packet: Packet, in_port: int) -> bool:
+        """True iff this match covers the packet on ``in_port``."""
+        if self.in_port is not None and in_port != self.in_port:
+            return False
+        if self.eth_src is not None and packet.eth_src != self.eth_src:
+            return False
+        if self.eth_dst is not None and packet.eth_dst != self.eth_dst:
+            return False
+        if self.ip_src is not None and packet.ip_src != self.ip_src:
+            return False
+        if self.ip_dst is not None and packet.ip_dst != self.ip_dst:
+            return False
+        if self.proto is not None and packet.proto != self.proto:
+            return False
+        if self.sport is not None and packet.sport != self.sport:
+            return False
+        if self.dport is not None and packet.dport != self.dport:
+            return False
+        if self.mpls is not None:
+            if self.mpls == Match.NO_MPLS:
+                if packet.mpls is not None:
+                    return False
+            elif packet.mpls != self.mpls:
+                return False
+        return True
+
+    def key(self) -> tuple:
+        """Hashable identity used to detect duplicate installs."""
+        return tuple(getattr(self, f) for f in _MATCHABLE)
+
+    def describe(self) -> str:
+        """Compact text form listing only the constrained fields."""
+        parts = [
+            f"{f}={getattr(self, f)}" for f in _MATCHABLE if getattr(self, f) is not None
+        ]
+        return "Match(" + ", ".join(parts) + ")" if parts else "Match(*)"
+
+
+class Action:
+    """Base class for flow actions (tag only)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class SetField(Action):
+    """Rewrite one header field — the Mimic Node primitive."""
+
+    field: str
+    value: Any
+
+    def __post_init__(self) -> None:
+        if self.field not in _SETTABLE:
+            raise ValueError(f"cannot set field {self.field!r}")
+
+
+@dataclass(frozen=True)
+class Output(Action):
+    """Emit the packet on a switch port."""
+
+    port: int
+
+
+@dataclass(frozen=True)
+class Group(Action):
+    """Hand the packet to a group entry (multicast buckets)."""
+
+    group_id: int
+
+
+@dataclass(frozen=True)
+class Drop(Action):
+    """Discard the packet."""
+
+
+@dataclass(frozen=True)
+class ToController(Action):
+    """Punt the packet to the controller (packet-in)."""
+
+
+@dataclass(frozen=True)
+class PushMpls(Action):
+    """Add an MPLS shim with the given label."""
+
+    label: int
+
+
+@dataclass(frozen=True)
+class PopMpls(Action):
+    """Remove the MPLS shim."""
+
+
+_entry_counter = itertools.count(1)
+
+
+@dataclass
+class FlowEntry:
+    """One installed rule: match + priority + action list + counters."""
+
+    match: Match
+    actions: Sequence[Action]
+    priority: int = 0
+    cookie: int = 0
+    entry_id: int = dc_field(default_factory=lambda: next(_entry_counter))
+    packet_count: int = 0
+    byte_count: int = 0
+
+    def describe(self) -> str:
+        """One-line rule rendering for traces and debugging."""
+        return f"[prio={self.priority}] {self.match.describe()} -> {list(self.actions)}"
+
+
+@dataclass
+class GroupEntry:
+    """A type-*all* group: every bucket's actions run on its own packet copy."""
+
+    group_id: int
+    buckets: Sequence[Sequence[Action]]
+    cookie: int = 0
+
+
+class TableMissError(LookupError):
+    """No entry matched and the table has no default behaviour."""
+
+
+class TableFullError(RuntimeError):
+    """The table's capacity (TCAM budget) is exhausted."""
+
+
+class FlowTable:
+    """Priority-ordered flow table plus group table.
+
+    :meth:`apply` classifies a packet and executes the matched entry's
+    actions, returning the set of (port, packet) emissions and whether the
+    packet must be punted to the controller.  Emitted packets are distinct
+    objects when a rule outputs more than once (multicast), so downstream
+    mutation cannot alias.
+
+    ``max_entries`` models the switch's TCAM budget: installs beyond it
+    raise :class:`TableFullError` (None = unbounded).
+    """
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        self._entries: list[FlowEntry] = []
+        self._groups: dict[int, GroupEntry] = {}
+        self.max_entries = max_entries
+
+    # -- management ------------------------------------------------------
+    def install(self, entry: FlowEntry) -> None:
+        """Insert keeping (priority desc, insertion order) ordering."""
+        if self.max_entries is not None and len(self._entries) >= self.max_entries:
+            raise TableFullError(
+                f"flow table full ({self.max_entries} entries)"
+            )
+        idx = len(self._entries)
+        for i, existing in enumerate(self._entries):
+            if existing.priority < entry.priority:
+                idx = i
+                break
+        self._entries.insert(idx, entry)
+
+    def remove(self, match: Match, priority: Optional[int] = None) -> int:
+        """Remove entries with an identical match (and priority if given)."""
+        before = len(self._entries)
+        self._entries = [
+            e
+            for e in self._entries
+            if not (
+                e.match.key() == match.key()
+                and (priority is None or e.priority == priority)
+            )
+        ]
+        return before - len(self._entries)
+
+    def remove_by_cookie(self, cookie: int) -> int:
+        """Remove every entry tagged with ``cookie``; returns the count."""
+        before = len(self._entries)
+        self._entries = [e for e in self._entries if e.cookie != cookie]
+        return before - len(self._entries)
+
+    def install_group(self, group: GroupEntry) -> None:
+        """Install (or replace) a group entry."""
+        self._groups[group.group_id] = group
+
+    def remove_group(self, group_id: int) -> None:
+        """Remove a group entry if present."""
+        self._groups.pop(group_id, None)
+
+    def remove_groups_by_cookie(self, cookie: int) -> int:
+        """Remove every group tagged with ``cookie``; returns the count."""
+        stale = [gid for gid, g in self._groups.items() if g.cookie == cookie]
+        for gid in stale:
+            del self._groups[gid]
+        return len(stale)
+
+    @property
+    def entries(self) -> list[FlowEntry]:
+        """Snapshot of installed entries, priority order."""
+        return list(self._entries)
+
+    @property
+    def groups(self) -> dict[int, GroupEntry]:
+        """Snapshot of the group table."""
+        return dict(self._groups)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- the data path -----------------------------------------------------
+    def lookup(self, packet: Packet, in_port: int) -> Optional[FlowEntry]:
+        """The highest-priority entry covering the packet, or None."""
+        for entry in self._entries:
+            if entry.match.matches(packet, in_port):
+                return entry
+        return None
+
+    def apply(
+        self, packet: Packet, in_port: int
+    ) -> tuple[list[tuple[int, Packet]], bool, Optional[FlowEntry]]:
+        """Run the pipeline on ``packet``.
+
+        Returns ``(emissions, to_controller, entry)`` where ``emissions`` is
+        a list of ``(out_port, packet)`` pairs and ``entry`` is the matched
+        rule (``None`` on table miss — the caller decides miss behaviour,
+        usually punting to the controller like OVS's default).
+        """
+        entry = self.lookup(packet, in_port)
+        if entry is None:
+            return [], True, None
+        entry.packet_count += 1
+        entry.byte_count += packet.size
+        emissions, to_controller = self._run_actions(entry.actions, packet)
+        return emissions, to_controller, entry
+
+    def _run_actions(
+        self, actions: Sequence[Action], packet: Packet
+    ) -> tuple[list[tuple[int, Packet]], bool]:
+        emissions: list[tuple[int, Packet]] = []
+        to_controller = False
+        emitted_current = False
+        for action in actions:
+            if isinstance(action, SetField):
+                setattr(packet, action.field, action.value)
+            elif isinstance(action, PushMpls):
+                packet.mpls = action.label
+            elif isinstance(action, PopMpls):
+                packet.mpls = None
+            elif isinstance(action, Output):
+                # Emit a snapshot so later rewrites of the live packet do not
+                # retroactively change what was sent.  The first emission
+                # keeps the packet's uid (the common unicast case); further
+                # emissions are genuinely new packets on the wire.
+                out_pkt = packet.copy(fresh_identity=emitted_current)
+                emissions.append((action.port, out_pkt))
+                emitted_current = True
+            elif isinstance(action, Group):
+                group = self._groups.get(action.group_id)
+                if group is None:
+                    raise TableMissError(f"group {action.group_id} not installed")
+                for bucket in group.buckets:
+                    bucket_pkt = packet.copy()
+                    sub_em, sub_ctrl = self._run_actions(bucket, bucket_pkt)
+                    emissions.extend(sub_em)
+                    to_controller = to_controller or sub_ctrl
+                emitted_current = True
+            elif isinstance(action, ToController):
+                to_controller = True
+            elif isinstance(action, Drop):
+                break
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown action {action!r}")
+        return emissions, to_controller

@@ -1,0 +1,169 @@
+"""End-host node.
+
+A host owns one NIC port, an IP/MAC identity, and an L4 demux table that the
+transport layer (:mod:`repro.transport`) binds listeners into.  Sending and
+receiving both traverse a modeled protocol stack (latency + CPU), which is
+what makes Tor's host-level relaying measurably expensive compared to MIC's
+in-network rewriting.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..sim import Simulator, TraceLog
+from .addresses import IPv4Addr, MacAddr
+from .node import Node
+from .packet import Packet
+from .params import NetParams
+
+__all__ = ["Host"]
+
+#: callback type for bound ports: (host, packet) -> None
+L4Handler = Callable[["Host", Packet], None]
+
+NIC_PORT = 0
+
+
+class Host(Node):
+    """An end host with a single NIC on port 0."""
+
+    kind = "host"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        trace: TraceLog,
+        name: str,
+        params: NetParams,
+        ip_addr: IPv4Addr,
+        mac_addr: MacAddr,
+    ):
+        super().__init__(sim, trace, name, params)
+        self.ip = ip_addr
+        self.mac = mac_addr
+        self._bindings: dict[tuple[str, int], L4Handler] = {}
+        self.default_handler: Optional[L4Handler] = None
+        self.promiscuous = False  # accept packets not addressed to our IP
+        self.packets_sent = 0
+        self.packets_received = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self._ephemeral_next = 49152
+
+    # -- L4 demux ------------------------------------------------------------
+    def bind(self, proto: str, port: int, handler: L4Handler) -> None:
+        """Register an L4 handler for (proto, port)."""
+        key = (proto, port)
+        if key in self._bindings:
+            raise ValueError(f"{self.name}: {proto}/{port} already bound")
+        self._bindings[key] = handler
+
+    def unbind(self, proto: str, port: int) -> None:
+        """Remove an L4 binding if present."""
+        self._bindings.pop((proto, port), None)
+
+    def is_bound(self, proto: str, port: int) -> bool:
+        """True if (proto, port) has a handler."""
+        return (proto, port) in self._bindings
+
+    def ephemeral_port(self) -> int:
+        """Allocate a fresh client-side port."""
+        port = self._ephemeral_next
+        self._ephemeral_next += 1
+        if self._ephemeral_next > 0xFFFF:
+            self._ephemeral_next = 49152
+        return port
+
+    # -- sending ---------------------------------------------------------------
+    def send_packet(self, packet: Packet) -> None:
+        """Push a fully-formed packet out of the NIC through the stack."""
+        self._book_stack_work(packet)
+        self.packets_sent += 1
+        self.bytes_sent += packet.size
+        self.trace.emit(
+            self.sim.now,
+            "host.tx",
+            self.name,
+            uid=packet.uid,
+            dst_ip=str(packet.ip_dst),
+            size=packet.size,
+        )
+        self.sim.call_later(
+            self.params.host_stack_delay_s,
+            lambda: self.transmit(packet, NIC_PORT),
+        )
+
+    def make_packet(
+        self,
+        dst_ip: IPv4Addr,
+        *,
+        proto: str = "tcp",
+        sport: int = 0,
+        dport: int = 0,
+        payload: Any = None,
+        payload_size: int = 0,
+        dst_mac: Optional[MacAddr] = None,
+        mpls: Optional[int] = None,
+    ) -> Packet:
+        """Build a packet originating from this host."""
+        return Packet(
+            eth_src=self.mac,
+            eth_dst=dst_mac if dst_mac is not None else MacAddr(0xFFFFFFFFFFFF),
+            ip_src=self.ip,
+            ip_dst=dst_ip,
+            proto=proto,
+            sport=sport,
+            dport=dport,
+            payload=payload,
+            payload_size=payload_size,
+            mpls=mpls,
+            created_at=self.sim.now,
+        )
+
+    # -- receiving ----------------------------------------------------------
+    def receive(self, packet: Packet, in_port: int) -> None:
+        """NIC entry point: demux or drop a delivered packet."""
+        if packet.ip_dst != self.ip and not self.promiscuous:
+            # Not ours: a NIC without promiscuous mode discards it.  Decoy
+            # packets from partial multicast die exactly this way when they
+            # reach an innocent host instead of a dropping next-hop rule.
+            self.trace.emit(
+                self.sim.now, "host.foreign_drop", self.name, uid=packet.uid,
+                dst_ip=str(packet.ip_dst),
+            )
+            return
+        self._book_stack_work(packet)
+        self.packets_received += 1
+        self.bytes_received += packet.size
+        self.trace.emit(
+            self.sim.now,
+            "host.rx",
+            self.name,
+            uid=packet.uid,
+            src_ip=str(packet.ip_src),
+            sport=packet.sport,
+            dport=packet.dport,
+            size=packet.size,
+        )
+        self.sim.call_later(
+            self.params.host_stack_delay_s, lambda: self._dispatch(packet)
+        )
+
+    def _dispatch(self, packet: Packet) -> None:
+        handler = self._bindings.get((packet.proto, packet.dport))
+        if handler is not None:
+            handler(self, packet)
+        elif self.default_handler is not None:
+            self.default_handler(self, packet)
+        else:
+            self.trace.emit(
+                self.sim.now, "host.refused", self.name, uid=packet.uid,
+                proto=packet.proto, dport=packet.dport,
+            )
+
+    def _book_stack_work(self, packet: Packet) -> None:
+        self.cpu.consume(
+            self.params.host_stack_cpu_s
+            + packet.size * self.params.host_per_byte_cpu_s
+        )

@@ -1,0 +1,143 @@
+"""Event-driven link model.
+
+A :class:`Link` joins two node ports with a full-duplex pair of directed
+channels.  Each direction serializes packets at the link bandwidth, applies
+propagation delay, and drops when the transmit backlog exceeds the queue
+budget — all without a dedicated process per link: the channel keeps a
+"transmitter free at" watermark and schedules one delivery event per packet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from ..sim import Simulator, TraceLog
+from .packet import Packet
+from .params import NetParams
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .node import Node
+
+__all__ = ["Channel", "Link", "LinkStats"]
+
+
+@dataclass
+class LinkStats:
+    """Per-direction counters."""
+
+    packets: int = 0
+    bytes: int = 0
+    drops: int = 0
+
+
+class Channel:
+    """One direction of a link: src node/port → dst node/port."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        trace: TraceLog,
+        src: "Node",
+        src_port: int,
+        dst: "Node",
+        dst_port: int,
+        bandwidth_bps: float,
+        delay_s: float,
+        queue_bytes: int,
+    ):
+        self.sim = sim
+        self.trace = trace
+        self.src = src
+        self.src_port = src_port
+        self.dst = dst
+        self.dst_port = dst_port
+        self.bandwidth_bps = bandwidth_bps
+        self.delay_s = delay_s
+        self.queue_bytes = queue_bytes
+        self.stats = LinkStats()
+        self._tx_free_at = 0.0
+        self.up = True
+
+    @property
+    def name(self) -> str:
+        """Directed link label, e.g. ``a[1]->b[2]``."""
+        return f"{self.src.name}[{self.src_port}]->{self.dst.name}[{self.dst_port}]"
+
+    def backlog_bytes(self) -> int:
+        """Bytes currently queued ahead of a new arrival."""
+        pending_s = max(0.0, self._tx_free_at - self.sim.now)
+        return int(pending_s * self.bandwidth_bps / 8.0)
+
+    def send(self, packet: Packet) -> bool:
+        """Enqueue ``packet`` for transmission; False means tail-dropped."""
+        if not self.up:
+            self.stats.drops += 1
+            return False
+        if self.backlog_bytes() + packet.size > self.queue_bytes:
+            self.stats.drops += 1
+            self.trace.emit(
+                self.sim.now, "link.drop", self.name, uid=packet.uid, size=packet.size
+            )
+            return False
+        tx_time = packet.size * 8.0 / self.bandwidth_bps
+        start = max(self.sim.now, self._tx_free_at)
+        self._tx_free_at = start + tx_time
+        deliver_at = self._tx_free_at + self.delay_s
+        self.stats.packets += 1
+        self.stats.bytes += packet.size
+        self.trace.emit(
+            self.sim.now,
+            "link.tx",
+            self.name,
+            uid=packet.uid,
+            content_tag=packet.content_tag,
+            size=packet.size,
+            src_ip=str(packet.ip_src),
+            dst_ip=str(packet.ip_dst),
+            mpls=packet.mpls,
+        )
+        self.sim.call_at(deliver_at, lambda: self._deliver(packet))
+        return True
+
+    def _deliver(self, packet: Packet) -> None:
+        if not self.up:
+            return
+        self.dst.receive(packet, self.dst_port)
+
+
+class Link:
+    """Full-duplex link: a pair of mirrored :class:`Channel` objects."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        trace: TraceLog,
+        a: "Node",
+        a_port: int,
+        b: "Node",
+        b_port: int,
+        params: NetParams,
+        bandwidth_bps: Optional[float] = None,
+        delay_s: Optional[float] = None,
+    ):
+        bw = bandwidth_bps if bandwidth_bps is not None else params.link_bandwidth_bps
+        delay = delay_s if delay_s is not None else params.link_delay_s
+        self.forward = Channel(
+            sim, trace, a, a_port, b, b_port, bw, delay, params.link_queue_bytes
+        )
+        self.reverse = Channel(
+            sim, trace, b, b_port, a, a_port, bw, delay, params.link_queue_bytes
+        )
+        a.attach(a_port, self.forward)
+        b.attach(b_port, self.reverse)
+
+    def set_up(self, up: bool) -> None:
+        """Bring both directions up or down."""
+        self.forward.up = up
+        self.reverse.up = up
+
+    @property
+    def endpoints(self) -> tuple[str, str]:
+        """The two node names this link joins."""
+        return (self.forward.src.name, self.forward.dst.name)

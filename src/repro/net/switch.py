@@ -1,0 +1,153 @@
+"""SDN switch node.
+
+The data path: receive → pipeline delay (plus a per-rewrite surcharge so
+MIC's extra set-field "actions" cost something, per Sec VI-B) → flow-table
+classification → emit / punt.  Table misses are punted to the controller,
+OVS-style, through the control channel the controller registers at
+connection time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..sim import Simulator, TraceLog
+from .flowtable import (
+    Action,
+    FlowTable,
+    PopMpls,
+    PushMpls,
+    SetField,
+)
+from .node import Node
+from .packet import Packet
+from .params import NetParams
+
+__all__ = ["Switch"]
+
+#: callback type the controller registers: (switch, packet, in_port) -> None
+PacketInHandler = Callable[["Switch", Packet, int], None]
+
+
+def _rewrite_count(actions) -> int:
+    return sum(1 for a in actions if isinstance(a, (SetField, PushMpls, PopMpls)))
+
+
+class Switch(Node):
+    """An OpenFlow switch with one flow table and a group table."""
+
+    kind = "switch"
+
+    def __init__(self, sim: Simulator, trace: TraceLog, name: str, params: NetParams):
+        super().__init__(sim, trace, name, params)
+        self.table = FlowTable(max_entries=params.switch_table_capacity)
+        self._packet_in: Optional[PacketInHandler] = None
+        self.mirror_taps: list[Callable[[Packet, int, str], None]] = []
+        self.packets_forwarded = 0
+        self.packets_punted = 0
+
+    # -- controller wiring -------------------------------------------------
+    def connect_controller(self, handler: PacketInHandler) -> None:
+        """Register the controller's packet-in handler."""
+        self._packet_in = handler
+
+    # -- observation (the adversary's port-mirroring hook, Sec III-B) ------
+    def add_mirror_tap(self, tap: Callable[[Packet, int, str], None]) -> None:
+        """Register a tap invoked as ``tap(packet, port, direction)`` with
+        direction ``"in"`` or ``"out"`` — models a compromised switch or an
+        enabled mirror port feeding an IDS."""
+        self.mirror_taps.append(tap)
+
+    def _mirror(self, packet: Packet, port: int, direction: str) -> None:
+        for tap in self.mirror_taps:
+            tap(packet, port, direction)
+
+    # -- data path -----------------------------------------------------------
+    def receive(self, packet: Packet, in_port: int) -> None:
+        """Data-path entry: mirror, delay, then classify."""
+        self._mirror(packet, in_port, "in")
+        entry = self.table.lookup(packet, in_port)
+        rewrites = _rewrite_count(entry.actions) if entry else 0
+        delay = (
+            self.params.switch_forward_delay_s
+            + rewrites * self.params.setfield_delay_s
+        )
+        self.cpu.consume(
+            self.params.switch_forward_cpu_s + rewrites * self.params.setfield_cpu_s
+        )
+        self.sim.call_later(delay, lambda: self._classify(packet, in_port))
+
+    def _classify(self, packet: Packet, in_port: int) -> None:
+        packet.ttl -= 1
+        if packet.ttl <= 0:
+            self.trace.emit(self.sim.now, "switch.ttl_expired", self.name, uid=packet.uid)
+            return
+        emissions, to_controller, entry = self.table.apply(packet, in_port)
+        if entry is None:
+            self.packets_punted += 1
+            self.trace.emit(
+                self.sim.now,
+                "switch.miss",
+                self.name,
+                uid=packet.uid,
+                src_ip=str(packet.ip_src),
+                dst_ip=str(packet.ip_dst),
+            )
+            self._punt(packet, in_port)
+            return
+        if to_controller:
+            self._punt(packet, in_port)
+        for port, out_pkt in emissions:
+            self.packets_forwarded += 1
+            self._mirror(out_pkt, port, "out")
+            self.trace.emit(
+                self.sim.now,
+                "switch.fwd",
+                self.name,
+                uid=out_pkt.uid,
+                content_tag=out_pkt.content_tag,
+                in_port=in_port,
+                out_port=port,
+                src_ip=str(out_pkt.ip_src),
+                dst_ip=str(out_pkt.ip_dst),
+                mpls=out_pkt.mpls,
+                size=out_pkt.size,
+            )
+            self.transmit(out_pkt, port)
+
+    def _punt(self, packet: Packet, in_port: int) -> None:
+        if self._packet_in is None:
+            return  # no controller: drop, as a real switch with no rule would
+        handler = self._packet_in
+        self.sim.call_later(
+            self.params.packet_in_delay_s, lambda: handler(self, packet, in_port)
+        )
+
+    # -- controller-side management (flow-mod with install latency) ----------
+    def install_later(self, entry, delay: Optional[float] = None):
+        """Install a flow entry after the control-channel latency.
+
+        Returns an event that fires when the rule is active.
+        """
+        from .flowtable import TableFullError
+
+        d = self.params.flow_install_delay_s if delay is None else delay
+        ev = self.sim.event()
+
+        def _do():
+            try:
+                self.table.install(entry)
+            except TableFullError as exc:
+                self.trace.emit(
+                    self.sim.now, "switch.table_full", self.name,
+                    entry=entry.describe(),
+                )
+                ev.fail(exc)
+                return
+            self.trace.emit(
+                self.sim.now, "switch.flowmod", self.name, entry=entry.describe()
+            )
+            ev.succeed()
+
+        self.sim.call_later(d, _do)
+        return ev

@@ -1,0 +1,84 @@
+"""Human-readable trace rendering (tcpdump-style).
+
+The :class:`~repro.sim.trace.TraceLog` records structured events; this
+module renders them as familiar one-line captures for debugging and for
+example scripts that want to *show* what the fabric saw:
+
+    12.842ms p0a1[2]>c4 10.0.0.3:4242 > 10.0.0.4:1999 mpls 0x2f41b203 len 74
+
+Only rendering — no parsing, no state.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..sim.trace import TraceLog, TraceRecord
+
+__all__ = ["format_record", "format_capture", "capture_at"]
+
+
+def _ts(t: float) -> str:
+    if t >= 1.0:
+        return f"{t:10.6f}s"
+    return f"{t * 1e3:9.3f}ms"
+
+
+def format_record(rec: TraceRecord) -> Optional[str]:
+    """One capture line for a packet-ish trace record; None if not one."""
+    d = rec.detail
+    if rec.category == "switch.fwd":
+        mpls = f" mpls 0x{d['mpls']:08x}" if d.get("mpls") is not None else ""
+        return (
+            f"{_ts(rec.time)} {rec.node}[{d['in_port']}>{d['out_port']}] "
+            f"{d['src_ip']} > {d['dst_ip']}{mpls} len {d['size']}"
+        )
+    if rec.category == "link.tx":
+        mpls = f" mpls 0x{d['mpls']:08x}" if d.get("mpls") is not None else ""
+        return (
+            f"{_ts(rec.time)} {rec.node} "
+            f"{d['src_ip']} > {d['dst_ip']}{mpls} len {d['size']}"
+        )
+    if rec.category == "host.tx":
+        return f"{_ts(rec.time)} {rec.node} tx > {d['dst_ip']} len {d['size']}"
+    if rec.category == "host.rx":
+        return (
+            f"{_ts(rec.time)} {rec.node} rx < {d['src_ip']}:{d['sport']} "
+            f"dport {d['dport']} len {d['size']}"
+        )
+    if rec.category == "switch.miss":
+        return (
+            f"{_ts(rec.time)} {rec.node} MISS {d['src_ip']} > {d['dst_ip']} "
+            f"(punt to controller)"
+        )
+    if rec.category == "link.drop":
+        return f"{_ts(rec.time)} {rec.node} DROP len {d['size']} (queue full)"
+    return None
+
+
+def format_capture(
+    log: TraceLog,
+    node: Optional[str] = None,
+    categories: Optional[Iterable[str]] = None,
+    limit: Optional[int] = None,
+) -> str:
+    """Render a filtered slice of the trace as capture lines."""
+    wanted = set(categories) if categories is not None else None
+    lines: list[str] = []
+    for rec in log:
+        if node is not None and rec.node != node:
+            continue
+        if wanted is not None and rec.category not in wanted:
+            continue
+        line = format_record(rec)
+        if line is not None:
+            lines.append(line)
+            if limit is not None and len(lines) >= limit:
+                break
+    return "\n".join(lines)
+
+
+def capture_at(log: TraceLog, switch_name: str, limit: Optional[int] = None) -> str:
+    """Everything a given switch forwarded, rendered."""
+    return format_capture(log, node=switch_name, categories={"switch.fwd"},
+                          limit=limit)

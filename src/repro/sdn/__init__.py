@@ -1,0 +1,10 @@
+"""SDN control plane: controller runtime, topology view, baseline routing.
+
+This package replaces the paper's Ryu controller platform.
+"""
+
+from .controller import Controller, ControllerApp
+from .discovery import TopologyView
+from .l3app import L3ShortestPathApp
+
+__all__ = ["Controller", "ControllerApp", "L3ShortestPathApp", "TopologyView"]

@@ -1,0 +1,148 @@
+"""SDN controller runtime (Ryu-equivalent).
+
+The :class:`Controller` connects to every switch in a :class:`Network`,
+receives packet-ins, dispatches them to registered apps, and offers the
+southbound operations apps need: flow-mod (with install latency), group-mod,
+packet-out, and path-rule compilation helpers.
+
+Apps subclass :class:`ControllerApp` and override ``on_packet_in``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from ..net.flowtable import FlowEntry, GroupEntry, Match, Output
+from ..net.network import Network
+from ..net.packet import Packet
+from ..net.switch import Switch
+from .discovery import TopologyView
+
+__all__ = ["Controller", "ControllerApp"]
+
+
+class ControllerApp:
+    """Base class for control applications."""
+
+    name = "app"
+
+    def attach(self, controller: "Controller") -> None:
+        """Bind the app to its controller (called by register)."""
+        self.controller = controller
+
+    def on_packet_in(self, switch: Switch, packet: Packet, in_port: int) -> bool:
+        """Handle a punted packet.  Return True if consumed (stops dispatch)."""
+        return False
+
+    def on_link_event(self, a: str, b: str, up: bool) -> None:
+        """React to a link up/down event (view is already updated)."""
+
+
+class Controller:
+    """The network's single logical controller (assumed secure, Sec III-D)."""
+
+    def __init__(self, network: Network, seed_stream: str = "controller"):
+        self.network = network
+        self.sim = network.sim
+        self.view = TopologyView(network.topo)
+        self.apps: list[ControllerApp] = []
+        self.rng = self.sim.rng(seed_stream)
+        self.packet_in_count = 0
+        self.flow_mods_sent = 0
+        for sw in network.switches():
+            sw.connect_controller(self._handle_packet_in)
+        network.link_listeners.append(self._handle_link_event)
+
+    # -- app management -----------------------------------------------------
+    def register(self, app: ControllerApp) -> ControllerApp:
+        """Attach and activate a control application."""
+        app.attach(self)
+        self.apps.append(app)
+        return app
+
+    def _handle_packet_in(self, switch: Switch, packet: Packet, in_port: int) -> None:
+        self.packet_in_count += 1
+        self.network.trace.emit(
+            self.sim.now,
+            "ctrl.packet_in",
+            switch.name,
+            uid=packet.uid,
+            src_ip=str(packet.ip_src),
+            dst_ip=str(packet.ip_dst),
+        )
+        for app in self.apps:
+            if app.on_packet_in(switch, packet, in_port):
+                return
+
+    def _handle_link_event(self, a: str, b: str, up: bool) -> None:
+        self.network.trace.emit(
+            self.sim.now, "ctrl.link_event", f"{a}<->{b}", up=up
+        )
+        self.view.set_link_state(a, b, up)
+        for app in self.apps:
+            app.on_link_event(a, b, up)
+
+    # -- southbound operations ---------------------------------------------
+    def install(self, switch_name: str, entry: FlowEntry, delay: Optional[float] = None):
+        """Send a flow-mod; returns the event that fires once active."""
+        self.flow_mods_sent += 1
+        return self.network.switch(switch_name).install_later(entry, delay=delay)
+
+    def install_group(self, switch_name: str, group: GroupEntry, delay: Optional[float] = None):
+        """Send a group-mod; returns the install-complete event."""
+        sw = self.network.switch(switch_name)
+        d = self.network.params.flow_install_delay_s if delay is None else delay
+        ev = self.sim.event()
+
+        def _do():
+            sw.table.install_group(group)
+            ev.succeed()
+
+        self.sim.call_later(d, _do)
+        return ev
+
+    def remove_by_cookie(self, switch_name: str, cookie: int) -> None:
+        """Remove all rules and groups tagged with ``cookie`` (teardown)."""
+        sw = self.network.switch(switch_name)
+
+        def _do():
+            sw.table.remove_by_cookie(cookie)
+            sw.table.remove_groups_by_cookie(cookie)
+
+        self.sim.call_later(self.network.params.flow_install_delay_s, _do)
+
+    def packet_out(self, switch_name: str, packet: Packet, out_port: int) -> None:
+        """Re-inject a punted packet at a switch."""
+        sw = self.network.switch(switch_name)
+        self.sim.call_later(
+            self.network.params.packet_out_delay_s,
+            lambda: sw.transmit(packet, out_port),
+        )
+
+    # -- helpers --------------------------------------------------------------
+    def ports_along(self, path: Sequence[str]) -> list[tuple[str, int]]:
+        """(switch, out_port) pairs for the switch hops of a node path."""
+        hops: list[tuple[str, int]] = []
+        for i, node in enumerate(path[:-1]):
+            if self.network.topo.kind(node) != "switch":
+                continue
+            hops.append((node, self.network.port(node, path[i + 1])))
+        return hops
+
+    def install_unicast_path(
+        self,
+        path: Sequence[str],
+        match: Match,
+        priority: int = 10,
+        cookie: int = 0,
+    ) -> list:
+        """Install a plain forwarding rule on every switch along ``path``.
+
+        Returns the list of install-complete events (installs proceed in
+        parallel, as a real controller would batch them).
+        """
+        events = []
+        for sw_name, out_port in self.ports_along(path):
+            entry = FlowEntry(match, [Output(out_port)], priority=priority, cookie=cookie)
+            events.append(self.install(sw_name, entry))
+        return events

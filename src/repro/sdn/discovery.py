@@ -1,0 +1,185 @@
+"""Controller-side global network view.
+
+The MC "obtains the global view of the network and calculates all-pairs
+equal-cost shortest paths when initiation" (Sec IV-B2).  :class:`TopologyView`
+is that database: shortest-path distances, equal-cost path enumeration
+between host pairs, and the is-this-link-on-a-shortest-path predicate the
+m-address plausibility restrictions are built on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import networkx as nx
+
+from ..net.topology import Topology
+
+__all__ = ["TopologyView"]
+
+
+class TopologyView:
+    """Read-only graph queries over a :class:`Topology`."""
+
+    def __init__(self, topo: Topology, max_equal_cost_paths: int = 16):
+        self.topo = topo
+        # The controller's own copy of the graph: link failures mutate this
+        # routing view without touching the physical topology description.
+        self.graph = topo.graph.copy()
+        self.max_equal_cost_paths = max_equal_cost_paths
+        #: all-pairs *routing* distances, computed eagerly (the paper's
+        #: "when initiation").  Hosts are absorbing: a path may start or end
+        #: at a host but never relay through one — in server-centric fabrics
+        #: like BCube the plain graph metric would happily shortcut through
+        #: servers, which switches cannot do.
+        self.dist: dict[str, dict[str, int]] = {
+            n: self._absorbing_bfs(n) for n in self.graph.nodes
+        }
+        self._path_cache: dict[tuple[str, str], list[list[str]]] = {}
+
+    def _expandable(self, node: str) -> bool:
+        return self.topo.kind(node) == "switch"
+
+    def set_link_state(self, u: str, v: str, up: bool) -> None:
+        """Apply a port-status event to the routing view and recompute."""
+        if up:
+            self.graph.add_edge(u, v)
+        elif self.graph.has_edge(u, v):
+            self.graph.remove_edge(u, v)
+        self.dist = {n: self._absorbing_bfs(n) for n in self.graph.nodes}
+        self._path_cache.clear()
+
+    def _absorbing_bfs(self, source: str) -> dict[str, int]:
+        dist = {source: 0}
+        frontier = [source]
+        while frontier:
+            nxt = []
+            for u in frontier:
+                if u != source and not self._expandable(u):
+                    continue  # hosts terminate paths, they don't relay
+                for v in self.graph.neighbors(u):
+                    if v not in dist:
+                        dist[v] = dist[u] + 1
+                        nxt.append(v)
+            frontier = nxt
+        return dist
+
+    # ------------------------------------------------------------------
+    def distance(self, a: str, b: str) -> int:
+        """Routing hop distance between two nodes."""
+        return self.dist[a][b]
+
+    def equal_cost_paths(self, src: str, dst: str) -> list[list[str]]:
+        """All shortest routing paths between two nodes (up to the cap).
+
+        Enumerated over the absorbing-host metric: interiors are switches.
+        """
+        key = (src, dst)
+        if key not in self._path_cache:
+            d_src = self.dist[src]
+            if dst not in d_src:
+                raise nx.NetworkXNoPath(f"no routing path {src} -> {dst}")
+            paths: list[list[str]] = []
+            stack: list[list[str]] = [[dst]]
+            while stack and len(paths) < self.max_equal_cost_paths:
+                partial = stack.pop()
+                head = partial[0]
+                if head == src:
+                    paths.append(partial)
+                    continue
+                for u in self.graph.neighbors(head):
+                    if u in d_src and d_src[u] + 1 == d_src[head]:
+                        if u == src or self._expandable(u):
+                            stack.append([u] + partial)
+            paths.sort()
+            self._path_cache[key] = paths
+        return self._path_cache[key]
+
+    def shortest_path(self, src: str, dst: str) -> list[str]:
+        """One shortest routing path (the first equal-cost one)."""
+        return self.equal_cost_paths(src, dst)[0]
+
+    def pick_path(self, src: str, dst: str, rng) -> list[str]:
+        """A random member of the equal-cost shortest-path set."""
+        return rng.choice(self.equal_cost_paths(src, dst))
+
+    # ------------------------------------------------------------------
+    def paths_with_min_switches(
+        self, src: str, dst: str, min_switches: int, rng
+    ) -> list[str]:
+        """A path between two hosts containing at least ``min_switches``
+        switch nodes.
+
+        The MC needs this when the requested MN count exceeds the shortest
+        path length (Sec IV-B2: "If the path length is less than N, a new
+        forwarding path with length larger than N will be calculated").
+
+        Simple detours are preferred; when none exists (e.g. two hosts under
+        the same edge switch, whose edge switch is the only way in or out),
+        the path is stretched with *bounce walks* that revisit a switch.
+        Revisits are routable because flow rules also match ``in_port``, so
+        the two traversals of the same switch are distinguishable.
+        """
+        shortest = self.pick_path(src, dst, rng)
+        if self._switch_count(shortest) >= min_switches:
+            return shortest
+        # Look for modestly longer simple paths first.
+        base = self.distance(src, dst)
+        for cutoff in range(base + 1, base + 5):
+            candidates = [
+                p
+                for p in nx.all_simple_paths(self.graph, src, dst, cutoff=cutoff)
+                if self._switch_count(p) >= min_switches and self._interior_is_switches(p)
+            ]
+            if candidates:
+                best_len = min(len(p) for p in candidates)
+                return rng.choice([p for p in candidates if len(p) == best_len])
+        # Fall back to bounce-stretching the shortest path.
+        walk = list(shortest)
+        visits = self._switch_count(walk)
+        guard = 0
+        while visits < min_switches:
+            guard += 1
+            if guard > min_switches + 8:  # pragma: no cover - defensive
+                break
+            candidates = []
+            for i in range(1, len(walk) - 1):
+                if self.topo.kind(walk[i]) != "switch":
+                    continue
+                for t in self.graph.neighbors(walk[i]):
+                    if self.topo.kind(t) == "switch":
+                        candidates.append((i, t))
+            if not candidates:
+                raise ValueError(
+                    f"no path from {src} to {dst} with >= {min_switches} switches"
+                )
+            i, t = rng.choice(candidates)
+            walk = walk[: i + 1] + [t] + walk[i:]
+            visits += 2
+        return walk
+
+    def _switch_count(self, path: list[str]) -> int:
+        return sum(1 for n in path if self.topo.kind(n) == "switch")
+
+    def _interior_is_switches(self, path: list[str]) -> bool:
+        return all(self.topo.kind(n) == "switch" for n in path[1:-1])
+
+    # ------------------------------------------------------------------
+    def link_on_shortest_path(self, a: str, b: str, u: str, v: str) -> bool:
+        """True iff directed link u→v lies on some shortest a→b path."""
+        try:
+            return self.dist[a][u] + 1 + self.dist[v][b] == self.dist[a][b]
+        except KeyError:
+            return False
+
+    def plausible_host_pairs(self, u: str, v: str) -> list[tuple[str, str]]:
+        """Host pairs (a, b) for which directed link u→v is on a shortest
+        path — the address-restriction universe for that link (Sec IV-B3's
+        per-port source/destination IP restrictions, generalized)."""
+        hosts = self.topo.hosts()
+        return [
+            (a, b)
+            for a in hosts
+            for b in hosts
+            if a != b and self.link_on_shortest_path(a, b, u, v)
+        ]

@@ -1,0 +1,145 @@
+"""Baseline L3 shortest-path forwarding app ("common flows").
+
+This is the non-anonymous routing that plain TCP/SSL traffic uses — the
+paper's baseline.  Reactive mode answers packet-ins by installing exact
+⟨ip_src, ip_dst⟩ rules along a randomly chosen equal-cost shortest path (both
+directions, so the reply does not punt again); proactive mode pre-wires all
+host pairs, which the throughput benchmarks use to avoid measuring setup.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..net.flowtable import FlowEntry, Match, Output
+from ..net.packet import Packet
+from ..net.switch import Switch
+from .controller import Controller, ControllerApp
+
+__all__ = ["L3ShortestPathApp"]
+
+
+class L3ShortestPathApp(ControllerApp):
+    """Reactive/proactive shortest-path unicast routing by IP pair."""
+
+    name = "l3"
+
+    def __init__(self, priority: int = 10):
+        self.priority = priority
+        self._pending: dict[tuple, list[tuple[Switch, Packet, int]]] = {}
+        self._installed_pairs: set[tuple] = set()
+        #: (src_host, dst_host) -> chosen node path (forward direction)
+        self.pair_paths: dict[tuple[str, str], list[str]] = {}
+        #: (src_host, dst_host) -> cookie tagging that pair's rules
+        self._pair_cookies: dict[tuple[str, str], int] = {}
+        self._next_cookie = 0x4C33_0000  # 'L3'
+
+    # ------------------------------------------------------------------
+    def on_packet_in(self, switch: Switch, packet: Packet, in_port: int) -> bool:
+        """Wire the punted packet's host pair and hold it until rules land."""
+        ctrl = self.controller
+        net = ctrl.network
+        src_host = net.host_by_ip(packet.ip_src)
+        dst_host = net.host_by_ip(packet.ip_dst)
+        if src_host is None or dst_host is None:
+            return False  # not ours (maybe an m-flow packet; let MIC decide)
+        pair = (packet.ip_src, packet.ip_dst)
+        if pair in self._installed_pairs:
+            # Rules are already (being) installed; hold the packet.
+            self._pending.setdefault(pair, []).append((switch, packet, in_port))
+            return True
+        self._installed_pairs.add(pair)
+        self._pending.setdefault(pair, []).append((switch, packet, in_port))
+        self.wire_pair(src_host.name, dst_host.name, release_pair=pair)
+        return True
+
+    # ------------------------------------------------------------------
+    def wire_pair(
+        self,
+        src_name: str,
+        dst_name: str,
+        release_pair: Optional[tuple] = None,
+    ) -> list:
+        """Install forward+reverse rules for a host pair.
+
+        Returns install events.  When ``release_pair`` is given, packets
+        queued for that pair are re-injected once all installs complete.
+        """
+        ctrl = self.controller
+        net = ctrl.network
+        src = net.host(src_name)
+        dst = net.host(dst_name)
+        path = ctrl.view.pick_path(src_name, dst_name, ctrl.rng)
+        self.pair_paths[(src_name, dst_name)] = path
+        self.pair_paths[(dst_name, src_name)] = list(reversed(path))
+        self._next_cookie += 1
+        cookie = self._next_cookie
+        self._pair_cookies[(src_name, dst_name)] = cookie
+        self._pair_cookies[(dst_name, src_name)] = cookie
+        events = []
+        events += ctrl.install_unicast_path(
+            path, Match(ip_src=src.ip, ip_dst=dst.ip), priority=self.priority,
+            cookie=cookie,
+        )
+        events += ctrl.install_unicast_path(
+            list(reversed(path)),
+            Match(ip_src=dst.ip, ip_dst=src.ip),
+            priority=self.priority,
+            cookie=cookie,
+        )
+        self._installed_pairs.add((src.ip, dst.ip))
+        self._installed_pairs.add((dst.ip, src.ip))
+        if release_pair is not None:
+            done = ctrl.sim.all_of(events)
+            done.callbacks.append(lambda _ev: self._release(release_pair))
+        return events
+
+    def _release(self, pair: tuple) -> None:
+        ctrl = self.controller
+        for switch, packet, in_port in self._pending.pop(pair, []):
+            # Re-run the packet through the (now populated) table.
+            ctrl.sim.call_later(
+                ctrl.network.params.packet_out_delay_s,
+                lambda sw=switch, p=packet, ip=in_port: sw.receive(p, ip),
+            )
+
+    # ------------------------------------------------------------------
+    def on_link_event(self, a: str, b: str, up: bool) -> None:
+        """Reroute every installed pair whose path crossed a failed link."""
+        if up:
+            return
+        dead = {(a, b), (b, a)}
+        affected = [
+            pair
+            for pair, path in self.pair_paths.items()
+            if any((u, v) in dead for u, v in zip(path, path[1:]))
+        ]
+        repaired: set[frozenset] = set()
+        for pair in affected:
+            key = frozenset(pair)
+            if key in repaired:
+                continue  # forward+reverse repaired together
+            repaired.add(key)
+            src, dst = pair
+            old_path = self.pair_paths[pair]
+            cookie = self._pair_cookies[pair]
+            for node in old_path[1:-1]:
+                self.controller.remove_by_cookie(node, cookie)
+            for p in (pair, (dst, src)):
+                self.pair_paths.pop(p, None)
+                self._pair_cookies.pop(p, None)
+                src_ip = self.controller.network.host(p[0]).ip
+                dst_ip = self.controller.network.host(p[1]).ip
+                self._installed_pairs.discard((src_ip, dst_ip))
+            self.wire_pair(src, dst)
+
+    # ------------------------------------------------------------------
+    def wire_all_pairs(self) -> list:
+        """Proactively install routes for every ordered host pair."""
+        ctrl = self.controller
+        hosts = ctrl.network.topo.hosts()
+        events = []
+        for i, a in enumerate(hosts):
+            for b in hosts[i + 1 :]:
+                events += self.wire_pair(a, b)
+        return events

@@ -1,0 +1,34 @@
+"""Discrete-event simulation kernel (SimPy-style, self-contained).
+
+The kernel replaces the paper's Mininet real-time testbed: all latencies,
+bandwidth effects and CPU costs in the reproduction are expressed as events
+on a single deterministic simulated clock.
+"""
+
+from .engine import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from .resources import Resource, Store
+from .trace import TraceLog, TraceRecord
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "Timeout",
+    "TraceLog",
+    "TraceRecord",
+]

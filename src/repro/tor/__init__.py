@@ -1,0 +1,24 @@
+"""Tor baseline: directory, onion relays and the client proxy.
+
+Replaces the paper's local Tor testbed (torsocks + patched
+``DEFAULT_ROUTE_LEN``) with a structurally faithful overlay implementation
+on the simulated substrate.
+"""
+
+from .cells import CELL_SIZE
+from .client import DEFAULT_ROUTE_LEN, TorCircuit, TorClient, TorStream
+from .directory import OR_PORT, RelayDescriptor, TorDirectory
+from .relay import TorRelay, TorRelayParams
+
+__all__ = [
+    "CELL_SIZE",
+    "DEFAULT_ROUTE_LEN",
+    "OR_PORT",
+    "RelayDescriptor",
+    "TorCircuit",
+    "TorClient",
+    "TorDirectory",
+    "TorRelay",
+    "TorRelayParams",
+    "TorStream",
+]

@@ -1,0 +1,113 @@
+"""Tor cell types (simplified but structurally faithful).
+
+All cells ride :class:`repro.transport.framing.MessageChannel` frames of the
+canonical fixed :data:`CELL_SIZE`, so an observer sees uniform 512-byte cells
+— exactly the property real Tor relies on.
+
+Control cells (CREATE/CREATED) are link-local; everything else travels as a
+``RelayCell`` whose payload is onion-sealed: each hop peels (forward) or adds
+(backward) one layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..net.addresses import IPv4Addr
+
+__all__ = [
+    "CELL_SIZE",
+    "CreateCell",
+    "CreatedCell",
+    "RelayCell",
+    "ExtendPayload",
+    "ExtendedPayload",
+    "BeginPayload",
+    "ConnectedPayload",
+    "DataPayload",
+    "EndPayload",
+    "SendmePayload",
+]
+
+#: fixed Tor cell size in bytes
+CELL_SIZE = 512
+
+
+@dataclass(frozen=True)
+class CreateCell:
+    """Link-local circuit creation: carries the client's DH half.
+
+    ``initiator`` is a per-circuit random session token (like a DH public
+    value) — it lets the two ends derive the same key without identifying
+    the client."""
+
+    circ_id: int
+    initiator: str
+    nonce: int
+
+
+@dataclass(frozen=True)
+class CreatedCell:
+    """Relay's DH answer."""
+
+    circ_id: int
+
+
+@dataclass(frozen=True)
+class RelayCell:
+    """An onion-wrapped relayed cell (forward or backward)."""
+
+    circ_id: int
+    payload: Any  # Sealed(...) onion; innermost is one of the payloads below
+    direction: str = "fwd"  # "fwd" | "bwd"
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("fwd", "bwd"):
+            raise ValueError(f"bad direction {self.direction!r}")
+
+
+@dataclass(frozen=True)
+class ExtendPayload:
+    """Ask the current last hop to extend the circuit."""
+
+    next_relay: str
+    session: str
+    nonce: int
+
+
+@dataclass(frozen=True)
+class ExtendedPayload:
+    """Confirmation that the circuit was extended."""
+
+    ok: bool = True
+
+
+@dataclass(frozen=True)
+class BeginPayload:
+    """Ask the exit relay to open a TCP stream to the target."""
+
+    target_ip: IPv4Addr
+    target_port: int
+
+
+@dataclass(frozen=True)
+class ConnectedPayload:
+    ok: bool = True
+
+
+@dataclass(frozen=True)
+class DataPayload:
+    """Application bytes on the stream (size counts toward cell budget)."""
+
+    data: bytes
+
+
+@dataclass(frozen=True)
+class EndPayload:
+    """Stream teardown."""
+
+
+@dataclass(frozen=True)
+class SendmePayload:
+    """Flow-control credit: opens the sender's window by one SENDME batch."""

@@ -1,0 +1,65 @@
+"""Tor directory service: the list of running relays and route selection."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..net.addresses import IPv4Addr
+
+__all__ = ["RelayDescriptor", "TorDirectory", "OR_PORT"]
+
+#: the onion-router port every relay listens on
+OR_PORT = 9001
+
+
+@dataclass(frozen=True)
+class RelayDescriptor:
+    name: str
+    host_name: str
+    ip: IPv4Addr
+
+
+class TorDirectory:
+    """Client-visible registry of relays (the directory authorities)."""
+
+    def __init__(self) -> None:
+        self._relays: dict[str, RelayDescriptor] = {}
+
+    def register(self, desc: RelayDescriptor) -> None:
+        """Publish a relay descriptor; rejects duplicates."""
+        if desc.name in self._relays:
+            raise ValueError(f"relay {desc.name} already registered")
+        self._relays[desc.name] = desc
+
+    def get(self, name: str) -> RelayDescriptor:
+        """Descriptor by relay name."""
+        return self._relays[name]
+
+    def relays(self) -> list[RelayDescriptor]:
+        """All published descriptors."""
+        return list(self._relays.values())
+
+    def pick_route(
+        self,
+        length: int,
+        rng,
+        exclude_hosts: Iterable[str] = (),
+        exclude_ips: Iterable[IPv4Addr] = (),
+    ) -> list[str]:
+        """A random route of ``length`` distinct relays, avoiding relays
+        hosted on the excluded hosts/addresses (the communication
+        endpoints — an exit colocated with the destination would have to
+        connect to itself)."""
+        excluded = set(exclude_hosts)
+        excluded_ips = set(exclude_ips)
+        pool = [
+            d.name
+            for d in self._relays.values()
+            if d.host_name not in excluded and d.ip not in excluded_ips
+        ]
+        if len(pool) < length:
+            raise ValueError(
+                f"directory has {len(pool)} eligible relays, need {length}"
+            )
+        return rng.sample(pool, length)

@@ -1,0 +1,53 @@
+"""Tor stream-level flow control (SENDME windows).
+
+Real Tor allows 500 data cells in flight per stream; the receiver returns a
+SENDME every 50 delivered cells to open the window again.  This is the
+mechanism that makes Tor throughput decay with circuit length: the window is
+fixed while the round-trip time grows with every relay, so the achievable
+rate is window/RTT.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..sim import Simulator
+
+__all__ = ["Window", "STREAM_WINDOW_CELLS", "SENDME_EVERY_CELLS"]
+
+STREAM_WINDOW_CELLS = 500
+SENDME_EVERY_CELLS = 50
+
+
+class Window:
+    """A counting window processes acquire one slot at a time."""
+
+    def __init__(self, sim: Simulator, capacity: int = STREAM_WINDOW_CELLS):
+        if capacity < 1:
+            raise ValueError("window capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self.available = capacity
+        self._waiters: deque = deque()
+
+    def acquire(self):
+        """Process generator: take one slot, waiting while the window is
+        closed."""
+        while self.available <= 0:
+            ev = self.sim.event()
+            self._waiters.append(ev)
+            yield ev
+        self.available -= 1
+
+    def release(self, n: int = 1) -> None:
+        """Open ``n`` slots (a SENDME arrived) and wake waiters."""
+        self.available += n
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.triggered:
+                waiter.succeed()
+
+    @property
+    def in_flight(self) -> int:
+        """Slots currently held (capacity − available)."""
+        return self.capacity - self.available

@@ -1,0 +1,235 @@
+"""Tor onion relay.
+
+Runs on an end host (Tor is an overlay — this is precisely the architectural
+contrast with MIC's in-network rewriting).  The relay:
+
+* accepts OR connections and CREATE cells (burning the DH+RSA "onion-skin"
+  compute per circuit extension),
+* peels one onion layer off forward relay cells and pushes them down the
+  circuit, adds one layer to backward cells and pushes them up,
+* acts as exit: opens a plain TCP stream to the target, shuttles bytes, and
+  enforces the stream's SENDME window toward the client,
+* charges two distinct per-cell costs, both observable on real relays:
+
+  - **serialized CPU** (AES + daemon work) on a relay-wide lock — this caps
+    the relay's cell *throughput*,
+  - **pipeline latency** (queueing, event-loop scheduling, token buckets)
+    added to each cell's delivery without holding the lock — this inflates
+    Tor's *round-trip time* without limiting bulk rate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..crypto import DEFAULT_COSTS, CryptoCostModel, Key, KeyExchange, Sealed, seal, unseal
+from ..net.host import Host
+from ..sim import Resource
+from ..transport.framing import MessageChannel
+from ..transport.tcp import TcpConnection, TcpStack
+from .cells import (
+    CELL_SIZE,
+    BeginPayload,
+    ConnectedPayload,
+    CreateCell,
+    CreatedCell,
+    DataPayload,
+    EndPayload,
+    ExtendPayload,
+    ExtendedPayload,
+    RelayCell,
+    SendmePayload,
+)
+from .directory import OR_PORT, RelayDescriptor, TorDirectory
+from .flowctl import SENDME_EVERY_CELLS, STREAM_WINDOW_CELLS, Window
+
+__all__ = ["TorRelay", "TorRelayParams"]
+
+
+class TorRelayParams:
+    """Relay behaviour knobs (see module docstring for the two costs)."""
+
+    def __init__(
+        self,
+        cell_serial_cpu_s: float = 15e-6,
+        cell_latency_s: float = 1.5e-3,
+    ):
+        self.cell_serial_cpu_s = cell_serial_cpu_s
+        self.cell_latency_s = cell_latency_s
+
+
+class _CircuitState:
+    __slots__ = (
+        "key", "prev", "next", "exit_conn", "bwd_window", "fwd_cells_delivered"
+    )
+
+    def __init__(self, key: Key, prev: MessageChannel):
+        self.key = key
+        self.prev = prev
+        self.next: Optional[MessageChannel] = None
+        self.exit_conn: Optional[TcpConnection] = None
+        self.bwd_window: Optional[Window] = None  # created at exit BEGIN
+        self.fwd_cells_delivered = 0
+
+
+class TorRelay:
+    """One onion router instance on a host."""
+
+    def __init__(
+        self,
+        host: Host,
+        directory: TorDirectory,
+        name: Optional[str] = None,
+        costs: CryptoCostModel = DEFAULT_COSTS,
+        params: Optional[TorRelayParams] = None,
+    ):
+        self.host = host
+        self.sim = host.sim
+        self.directory = directory
+        self.name = name or f"relay-{host.name}"
+        self.costs = costs
+        self.params = params or TorRelayParams()
+        self.tcp = TcpStack(host)
+        self.circuits: dict[int, _CircuitState] = {}
+        self.cells_relayed = 0
+        self.circuits_created = 0
+        self._cpu_lock = Resource(self.sim, capacity=1)
+        directory.register(RelayDescriptor(self.name, host.name, host.ip))
+        self._listener = self.tcp.listen(OR_PORT)
+        self.sim.process(self._accept_loop(), name=f"{self.name}.accept")
+
+    # -- connection handling -------------------------------------------------
+    def _accept_loop(self):
+        while True:
+            conn = yield self._listener.accept()
+            channel = MessageChannel(conn)
+            self.sim.process(
+                self._reader_loop(channel), name=f"{self.name}.reader"
+            )
+
+    def _reader_loop(self, channel: MessageChannel):
+        """Read cells arriving on an upstream (client-facing) OR connection."""
+        while True:
+            cell, _size = yield from channel.recv()
+            yield from self._handle_cell(channel, cell)
+
+    def _next_hop_loop(self, circ_id: int, channel: MessageChannel):
+        """Read backward cells arriving from the next hop of a circuit."""
+        while True:
+            cell, _size = yield from channel.recv()
+            if isinstance(cell, RelayCell) and cell.direction == "bwd":
+                yield from self._relay_backward(circ_id, cell.payload)
+
+    # -- cell handling ---------------------------------------------------
+    def _handle_cell(self, channel: MessageChannel, cell: Any):
+        if isinstance(cell, CreateCell):
+            yield from self._on_create(channel, cell)
+        elif isinstance(cell, RelayCell) and cell.direction == "fwd":
+            yield from self._on_forward(cell)
+        # backward cells never arrive on upstream connections
+
+    def _on_create(self, channel: MessageChannel, cell: CreateCell):
+        key = KeyExchange.respond(cell.initiator, self.name, cell.nonce)
+        self.circuits[cell.circ_id] = _CircuitState(key, channel)
+        self.circuits_created += 1
+        cpu = self.costs.tor_circuit_extend_cpu_s()
+        self.host.cpu.consume(cpu)
+        yield self.sim.timeout(cpu)
+        channel.send(CreatedCell(cell.circ_id), CELL_SIZE)
+
+    def _cell_work(self):
+        """Serialized per-cell relay work: AES plus daemon CPU on the
+        relay-wide lock — the throughput-limiting stage."""
+        yield self._cpu_lock.request()
+        cost = self.costs.aes(CELL_SIZE) + self.params.cell_serial_cpu_s
+        self.host.cpu.consume(cost)
+        yield self.sim.timeout(cost)
+        self._cpu_lock.release()
+        self.cells_relayed += 1
+
+    def _send_later(self, send_fn: Callable[[], None]) -> None:
+        """Deliver a processed cell after the pipeline latency (FIFO order
+        is preserved: equal delays fire in scheduling order)."""
+        self.sim.call_later(self.params.cell_latency_s, send_fn)
+
+    def _on_forward(self, cell: RelayCell):
+        state = self.circuits.get(cell.circ_id)
+        if state is None:
+            return
+        yield from self._cell_work()
+        inner = unseal(state.key, cell.payload)
+        if isinstance(inner, Sealed):
+            # More layers: not for us — push down the circuit.
+            nxt = state.next
+            if nxt is None:
+                return  # malformed: nothing downstream
+            self._send_later(
+                lambda: nxt.send(RelayCell(cell.circ_id, inner, "fwd"), CELL_SIZE)
+            )
+            return
+        # Innermost layer: a command addressed to this relay.
+        if isinstance(inner, ExtendPayload):
+            yield from self._do_extend(cell.circ_id, state, inner)
+        elif isinstance(inner, BeginPayload):
+            yield from self._do_begin(cell.circ_id, state, inner)
+        elif isinstance(inner, DataPayload):
+            if state.exit_conn is not None:
+                state.exit_conn.send(inner.data)
+                yield from self._count_delivery(cell.circ_id, state)
+        elif isinstance(inner, SendmePayload):
+            if state.bwd_window is not None:
+                state.bwd_window.release(SENDME_EVERY_CELLS)
+        elif isinstance(inner, EndPayload):
+            if state.exit_conn is not None:
+                state.exit_conn.close()
+
+    def _count_delivery(self, circ_id: int, state: _CircuitState):
+        """Exit-side bookkeeping: grant the client a SENDME per batch."""
+        state.fwd_cells_delivered += 1
+        if state.fwd_cells_delivered % SENDME_EVERY_CELLS == 0:
+            yield from self._relay_backward(circ_id, SendmePayload())
+
+    def _do_extend(self, circ_id: int, state: _CircuitState, ext: ExtendPayload):
+        desc = self.directory.get(ext.next_relay)
+        conn = yield self.tcp.connect(desc.ip, OR_PORT)
+        channel = MessageChannel(conn)
+        state.next = channel
+        channel.send(CreateCell(circ_id, ext.session, ext.nonce), CELL_SIZE)
+        created, _ = yield from channel.recv()
+        assert isinstance(created, CreatedCell)
+        self.sim.process(
+            self._next_hop_loop(circ_id, channel), name=f"{self.name}.next"
+        )
+        yield from self._relay_backward(circ_id, ExtendedPayload())
+
+    def _do_begin(self, circ_id: int, state: _CircuitState, begin: BeginPayload):
+        conn = yield self.tcp.connect(begin.target_ip, begin.target_port)
+        state.exit_conn = conn
+        state.bwd_window = Window(self.sim, STREAM_WINDOW_CELLS)
+        self.sim.process(
+            self._exit_reader(circ_id, state, conn), name=f"{self.name}.exit"
+        )
+        yield from self._relay_backward(circ_id, ConnectedPayload())
+
+    def _exit_reader(self, circ_id: int, state: _CircuitState, conn: TcpConnection):
+        max_chunk = CELL_SIZE - 14  # leave room for the relay header
+        while True:
+            data = yield conn.recv(max_chunk)
+            if not data:
+                yield from self._relay_backward(circ_id, EndPayload())
+                return
+            # Stream-level flow control toward the client.
+            yield from state.bwd_window.acquire()
+            yield from self._relay_backward(circ_id, DataPayload(data))
+
+    def _relay_backward(self, circ_id: int, payload: Any):
+        """Seal with our key and push one hop toward the client."""
+        state = self.circuits.get(circ_id)
+        if state is None:
+            return
+        yield from self._cell_work()
+        prev = state.prev
+        sealed = seal(state.key, payload)
+        self._send_later(
+            lambda: prev.send(RelayCell(circ_id, sealed, "bwd"), CELL_SIZE)
+        )

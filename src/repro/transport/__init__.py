@@ -1,0 +1,22 @@
+"""Host transport protocols: simulated TCP and SSL/TLS.
+
+Replaces the paper's Linux TCP stack and OpenSSL baselines.
+"""
+
+from .ssl import SslConnection, SslStack
+from .tcp import MSS, TcpConnection, TcpListener, TcpSegment, TcpStack
+from .tcp import TcpError
+from .udp import Datagram, UdpSocket
+
+__all__ = [
+    "Datagram",
+    "MSS",
+    "UdpSocket",
+    "SslConnection",
+    "SslStack",
+    "TcpConnection",
+    "TcpError",
+    "TcpListener",
+    "TcpSegment",
+    "TcpStack",
+]

@@ -1,0 +1,71 @@
+"""Length-prefixed message framing over the simulated TCP byte stream.
+
+Tor cells (and any other structured message) ride the byte stream as
+``[4-byte size][8-byte object id][size padding bytes]`` frames.  The object
+itself is parked in a registry and claimed exactly once by the receiver when
+the frame's last byte arrives — so message *timing* and *wire size* are
+faithful to the byte stream while the content stays a rich Python object.
+"""
+
+from __future__ import annotations
+
+import itertools
+import struct
+from typing import Any
+
+from .tcp import TcpConnection
+
+__all__ = ["MessageChannel"]
+
+_HEADER = struct.Struct("!IQ")
+_registry: dict[int, Any] = {}
+_obj_ids = itertools.count(1)
+
+
+def _register(obj: Any) -> int:
+    oid = next(_obj_ids)
+    _registry[oid] = obj
+    return oid
+
+
+def _claim(oid: int) -> Any:
+    try:
+        return _registry.pop(oid)
+    except KeyError:
+        raise KeyError(f"message {oid} already claimed or never sent") from None
+
+
+class MessageChannel:
+    """Message-oriented adapter over a :class:`TcpConnection`."""
+
+    def __init__(self, conn: TcpConnection):
+        self.conn = conn
+
+    def send(self, obj: Any, wire_size: int) -> None:
+        """Send ``obj`` as a frame occupying ``wire_size`` body bytes."""
+        if wire_size < 0:
+            raise ValueError("negative wire size")
+        oid = _register(obj)
+        self.conn.send(_HEADER.pack(wire_size, oid) + b"\x00" * wire_size)
+
+    def recv(self):
+        """Process generator: receive one frame → ``(obj, wire_size)``."""
+        header = yield from self.conn.recv_exactly(_HEADER.size)
+        wire_size, oid = _HEADER.unpack(header)
+        if wire_size:
+            yield from self.conn.recv_exactly(wire_size)
+        return _claim(oid), wire_size
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self.conn.close()
+
+    @property
+    def host(self):
+        """The endpoint's host."""
+        return self.conn.host
+
+    @property
+    def sim(self):
+        """The endpoint's simulator."""
+        return self.conn.sim

@@ -1,0 +1,133 @@
+"""SSL/TLS layer over simulated TCP.
+
+Models the two costs that matter for the paper's comparisons:
+
+* **handshake**: two additional round-trips of flights over the established
+  TCP connection (ClientHello → ServerHello+Certificate → ClientKeyExchange+
+  Finished → Finished), with the server burning an RSA private operation and
+  the client an RSA public operation (both booked as CPU *and* added
+  latency),
+* **bulk crypto**: every byte sent/received costs AES time on the endpoint.
+
+The byte stream itself is carried in the clear inside the simulation — the
+encryption is represented by CPU/latency costs plus fresh ``content_tag``
+values, which is what the traffic-analysis modules observe.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..crypto import DEFAULT_COSTS, CryptoCostModel
+from ..sim import Event
+from .tcp import TcpConnection, TcpError, TcpListener, TcpStack
+
+__all__ = ["SslConnection", "SslStack"]
+
+CLIENT_HELLO_BYTES = 256
+SERVER_HELLO_BYTES = 3200  # certificate chain dominates
+CLIENT_KEX_BYTES = 320
+FINISHED_BYTES = 64
+
+
+class SslConnection:
+    """A TLS session bound to an underlying :class:`TcpConnection`."""
+
+    def __init__(
+        self,
+        conn: TcpConnection,
+        is_server: bool,
+        costs: CryptoCostModel = DEFAULT_COSTS,
+    ):
+        self.conn = conn
+        self.is_server = is_server
+        self.costs = costs
+        self.sim = conn.sim
+        self.host = conn.host
+        self.handshake_done = False
+
+    # -- handshake -----------------------------------------------------------
+    def handshake(self):
+        """Process generator: run the TLS handshake flights.
+
+        Usage: ``yield from ssl_conn.handshake()``.
+        """
+        if self.is_server:
+            yield from self._server_handshake()
+        else:
+            yield from self._client_handshake()
+        self.handshake_done = True
+        return self
+
+    def _client_handshake(self):
+        self.conn.send(b"\x01" * CLIENT_HELLO_BYTES)
+        yield from self.conn.recv_exactly(SERVER_HELLO_BYTES)
+        # Verify cert + encrypt pre-master secret: RSA public op.
+        cpu = self.costs.tls_client_handshake_cpu_s()
+        self.host.cpu.consume(cpu)
+        yield self.sim.timeout(cpu)
+        self.conn.send(b"\x02" * (CLIENT_KEX_BYTES + FINISHED_BYTES))
+        yield from self.conn.recv_exactly(FINISHED_BYTES)
+
+    def _server_handshake(self):
+        yield from self.conn.recv_exactly(CLIENT_HELLO_BYTES)
+        self.conn.send(b"\x03" * SERVER_HELLO_BYTES)
+        yield from self.conn.recv_exactly(CLIENT_KEX_BYTES + FINISHED_BYTES)
+        # Decrypt pre-master secret: RSA private op — the expensive step.
+        cpu = self.costs.tls_handshake_cpu_s()
+        self.host.cpu.consume(cpu)
+        yield self.sim.timeout(cpu)
+        self.conn.send(b"\x04" * FINISHED_BYTES)
+
+    # -- bulk data ------------------------------------------------------------
+    def send(self, data: bytes):
+        """Process generator: encrypt (cost) then transmit."""
+        if not self.handshake_done:
+            raise TcpError("SSL send before handshake")
+        cost = self.costs.aes(len(data))
+        self.host.cpu.consume(cost)
+        yield self.sim.timeout(cost)
+        self.conn.send(data)
+
+    def recv(self, n: int):
+        """Process generator: receive then decrypt (cost). Returns bytes."""
+        data = yield self.conn.recv(n)
+        if data:
+            cost = self.costs.aes(len(data))
+            self.host.cpu.consume(cost)
+            yield self.sim.timeout(cost)
+        return data
+
+    def recv_exactly(self, n: int):
+        """Process generator: exactly ``n`` bytes, decrypted."""
+        data = yield from self.conn.recv_exactly(n)
+        cost = self.costs.aes(len(data))
+        self.host.cpu.consume(cost)
+        yield self.sim.timeout(cost)
+        return data
+
+    def close(self) -> None:
+        """Close the underlying TCP connection."""
+        self.conn.close()
+
+
+class SslStack:
+    """Convenience wrapper pairing a :class:`TcpStack` with TLS sessions."""
+
+    def __init__(self, tcp: TcpStack, costs: CryptoCostModel = DEFAULT_COSTS):
+        self.tcp = tcp
+        self.costs = costs
+
+    def connect(self, remote_ip, remote_port: int):
+        """Process generator: TCP connect + TLS handshake."""
+        conn = yield self.tcp.connect(remote_ip, remote_port)
+        ssl_conn = SslConnection(conn, is_server=False, costs=self.costs)
+        yield from ssl_conn.handshake()
+        return ssl_conn
+
+    def accept_on(self, listener: TcpListener):
+        """Process generator: accept a TCP connection + TLS handshake."""
+        conn = yield listener.accept()
+        ssl_conn = SslConnection(conn, is_server=True, costs=self.costs)
+        yield from ssl_conn.handshake()
+        return ssl_conn

@@ -1,0 +1,77 @@
+"""UDP datagram sockets.
+
+Minimal connectionless transport for workloads that are not byte streams
+(the paper's address rewriting covers "MAC, IP and port" for any L4 —
+MIC's datagram mode rides on this).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..net.addresses import IPv4Addr
+from ..net.host import Host
+from ..sim import Event, Store
+
+__all__ = ["UdpSocket", "Datagram"]
+
+
+class Datagram:
+    """One received datagram."""
+
+    __slots__ = ("data", "src_ip", "sport")
+
+    def __init__(self, data: bytes, src_ip: IPv4Addr, sport: int):
+        self.data = data
+        self.src_ip = src_ip
+        self.sport = sport
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Datagram {len(self.data)}B from {self.src_ip}:{self.sport}>"
+
+
+class UdpSocket:
+    """A bound UDP endpoint: ``sendto`` datagrams, ``recvfrom`` events."""
+
+    def __init__(self, host: Host, port: Optional[int] = None):
+        self.host = host
+        self.sim = host.sim
+        self.port = port if port is not None else host.ephemeral_port()
+        self._inbox: Store = Store(self.sim)
+        host.bind("udp", self.port, self._on_packet)
+        self._closed = False
+
+    def _on_packet(self, _host: Host, packet) -> None:
+        data = packet.payload if isinstance(packet.payload, bytes) else b""
+        self._inbox.put(Datagram(data, packet.ip_src, packet.sport))
+
+    def sendto(self, data: bytes, dst_ip: IPv4Addr, dport: int) -> None:
+        """Send one datagram to (dst_ip, dport)."""
+        if self._closed:
+            raise OSError("socket closed")
+        if not isinstance(data, (bytes, bytearray)):
+            raise TypeError("UDP carries bytes")
+        pkt = self.host.make_packet(
+            dst_ip,
+            proto="udp",
+            sport=self.port,
+            dport=dport,
+            payload=bytes(data),
+            payload_size=len(data),
+        )
+        self.host.send_packet(pkt)
+
+    def recvfrom(self) -> Event:
+        """Event firing with the next :class:`Datagram`."""
+        return self._inbox.get()
+
+    @property
+    def pending(self) -> int:
+        """Datagrams queued for recvfrom."""
+        return len(self._inbox)
+
+    def close(self) -> None:
+        """Unbind the port and refuse further sends."""
+        if not self._closed:
+            self.host.unbind("udp", self.port)
+            self._closed = True

@@ -1,0 +1,24 @@
+"""Workloads: duplex adapters, iperf-style measurement, traffic generators."""
+
+from .apps import EchoService, FileService, RpcService, fetch_file, rpc_call
+from .duplex import Duplex, as_duplex
+from .generator import FlowSpec, dc_mix, pick_pairs, poisson_arrivals
+from .iperf import EchoResult, TransferResult, measure_echo, measure_transfer
+
+__all__ = [
+    "Duplex",
+    "EchoService",
+    "FileService",
+    "RpcService",
+    "fetch_file",
+    "rpc_call",
+    "EchoResult",
+    "FlowSpec",
+    "TransferResult",
+    "as_duplex",
+    "dc_mix",
+    "measure_echo",
+    "measure_transfer",
+    "pick_pairs",
+    "poisson_arrivals",
+]

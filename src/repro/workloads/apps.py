@@ -1,0 +1,135 @@
+"""Reusable application-layer components.
+
+The paper motivates MIC with two data-center application classes:
+delay-sensitive services (web search) and bandwidth-hungry ones (file
+services).  These helpers implement both against any stream that follows
+the MIC/TCP duplex conventions, so examples and benches don't re-implement
+server loops.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from ..core.client import MicServer, MicStream
+from ..sim import Simulator
+
+__all__ = ["EchoService", "RpcService", "FileService", "rpc_call", "fetch_file"]
+
+_RPC_HEADER = struct.Struct("!I")
+
+
+class EchoService:
+    """Echoes every byte back — the latency-probe server."""
+
+    def __init__(self, server: MicServer):
+        self.server = server
+        self.sim = server.sim
+        self.streams_served = 0
+        self.sim.process(self._loop(), name="echo-service")
+
+    def _loop(self):
+        while True:
+            stream = yield self.server.accept()
+            self.streams_served += 1
+            self.sim.process(self._serve(stream), name="echo-service.conn")
+
+    def _serve(self, stream: MicStream):
+        while True:
+            data = yield stream.recv(65536)
+            if not data:
+                return
+            stream.send(data)
+
+
+class RpcService:
+    """Length-prefixed request/reply server (web-search-shaped traffic).
+
+    The handler is a plain function ``bytes -> bytes``.
+    """
+
+    def __init__(self, server: MicServer, handler=None):
+        self.server = server
+        self.sim = server.sim
+        self.handler = handler or (lambda req: req[::-1])
+        self.requests_served = 0
+        self.sim.process(self._loop(), name="rpc-service")
+
+    def _loop(self):
+        while True:
+            stream = yield self.server.accept()
+            self.sim.process(self._serve(stream), name="rpc-service.conn")
+
+    def _serve(self, stream: MicStream):
+        while True:
+            try:
+                header = yield from stream.recv_exactly(_RPC_HEADER.size)
+            except Exception:
+                return
+            (length,) = _RPC_HEADER.unpack(header)
+            request = (yield from stream.recv_exactly(length)) if length else b""
+            reply = self.handler(request)
+            stream.send(_RPC_HEADER.pack(len(reply)) + reply)
+            self.requests_served += 1
+
+
+def rpc_call(stream: MicStream, request: bytes):
+    """Process generator: one length-prefixed RPC over an open stream."""
+    stream.send(_RPC_HEADER.pack(len(request)) + request)
+    header = yield from stream.recv_exactly(_RPC_HEADER.size)
+    (length,) = _RPC_HEADER.unpack(header)
+    reply = (yield from stream.recv_exactly(length)) if length else b""
+    return reply
+
+
+class FileService:
+    """Serves named blobs (file-service-shaped bulk traffic).
+
+    Protocol: 1-byte name length + name → 8-byte size + content.
+    """
+
+    def __init__(self, server: MicServer):
+        self.server = server
+        self.sim = server.sim
+        self.files: dict[str, bytes] = {}
+        self.bytes_served = 0
+        self.sim.process(self._loop(), name="file-service")
+
+    def put(self, name: str, content: bytes) -> None:
+        """Publish a named blob."""
+        if len(name) > 255:
+            raise ValueError("file name too long")
+        self.files[name] = content
+
+    def _loop(self):
+        while True:
+            stream = yield self.server.accept()
+            self.sim.process(self._serve(stream), name="file-service.conn")
+
+    def _serve(self, stream: MicStream):
+        while True:
+            try:
+                (name_len,) = yield from stream.recv_exactly(1)
+            except Exception:
+                return
+            name = (yield from stream.recv_exactly(name_len)).decode()
+            content = self.files.get(name, b"")
+            stream.send(struct.pack("!Q", len(content)))
+            if content:
+                stream.send(content)
+                self.bytes_served += len(content)
+
+
+def fetch_file(stream: MicStream, name: str):
+    """Process generator: request a named blob → its bytes (b"" if absent)."""
+    encoded = name.encode()
+    if len(encoded) > 255:
+        raise ValueError("file name too long")
+    stream.send(bytes([len(encoded)]) + encoded)
+    size_raw = yield from stream.recv_exactly(8)
+    (size,) = struct.unpack("!Q", size_raw)
+    if not size:
+        return b""
+    content = yield from stream.recv_exactly(size)
+    return content

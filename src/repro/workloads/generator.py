@@ -1,0 +1,77 @@
+"""Workload generators: flow arrivals and host-pair selection.
+
+The paper's motivation names two application classes: delay-sensitive web
+services and bandwidth-hungry file services.  These generators produce the
+corresponding traffic mixes for the benches and examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+__all__ = ["FlowSpec", "poisson_arrivals", "pick_pairs", "dc_mix"]
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One flow the generator asks the harness to run."""
+
+    start_s: float
+    src: str
+    dst: str
+    nbytes: int
+    kind: str  # "bulk" | "rpc"
+
+
+def poisson_arrivals(rng, rate_per_s: float, horizon_s: float) -> Iterator[float]:
+    """Arrival times of a Poisson process on [0, horizon)."""
+    if rate_per_s <= 0:
+        raise ValueError("rate must be positive")
+    t = 0.0
+    while True:
+        t += rng.expovariate(rate_per_s)
+        if t >= horizon_s:
+            return
+        yield t
+
+
+def pick_pairs(
+    rng, hosts: Sequence[str], n: int, distinct_src: bool = False
+) -> list[tuple[str, str]]:
+    """``n`` ordered host pairs with src != dst.
+
+    With ``distinct_src`` every pair gets a different source host (the
+    shape of the paper's Fig 9(b) multi-flow experiment)."""
+    if len(hosts) < 2:
+        raise ValueError("need at least two hosts")
+    if distinct_src and n > len(hosts):
+        raise ValueError("not enough hosts for distinct sources")
+    pairs = []
+    sources = rng.sample(list(hosts), n) if distinct_src else None
+    for i in range(n):
+        src = sources[i] if distinct_src else rng.choice(hosts)
+        dst = rng.choice([h for h in hosts if h != src])
+        pairs.append((src, dst))
+    return pairs
+
+
+def dc_mix(
+    rng,
+    hosts: Sequence[str],
+    horizon_s: float,
+    rpc_rate_per_s: float = 20.0,
+    bulk_rate_per_s: float = 2.0,
+    rpc_bytes: int = 2_000,
+    bulk_bytes: int = 5_000_000,
+) -> list[FlowSpec]:
+    """A data-center-like mix: many small RPCs plus occasional bulk flows."""
+    specs: list[FlowSpec] = []
+    for t in poisson_arrivals(rng, rpc_rate_per_s, horizon_s):
+        src, dst = pick_pairs(rng, hosts, 1)[0]
+        specs.append(FlowSpec(t, src, dst, rpc_bytes, "rpc"))
+    for t in poisson_arrivals(rng, bulk_rate_per_s, horizon_s):
+        src, dst = pick_pairs(rng, hosts, 1)[0]
+        specs.append(FlowSpec(t, src, dst, bulk_bytes, "bulk"))
+    specs.sort(key=lambda s: s.start_s)
+    return specs

@@ -1,0 +1,79 @@
+"""Tests for per-link anonymity-set quantification."""
+
+import math
+
+import pytest
+
+from repro.attacks import link_anonymity, walk_anonymity
+from repro.core import AddressRestrictions
+from repro.net import fat_tree, leaf_spine
+from repro.sdn import TopologyView
+
+
+@pytest.fixture(scope="module")
+def ft():
+    view = TopologyView(fat_tree(4))
+    return view, AddressRestrictions(view)
+
+
+class TestLinkAnonymity:
+    def test_host_uplink_exposes_sender(self, ft):
+        view, r = ft
+        a = link_anonymity(r, "h1", "p0e0")
+        assert a.sender_set_size == 1  # it can only be h1
+        assert a.receiver_set_size > 1  # but the receiver is hidden
+
+    def test_host_downlink_exposes_receiver(self, ft):
+        view, r = ft
+        a = link_anonymity(r, "p0e0", "h1")
+        assert a.receiver_set_size == 1
+        assert a.sender_set_size > 1
+
+    def test_core_link_hides_both(self, ft):
+        view, r = ft
+        a = link_anonymity(r, "p0a0", "c1")
+        # A pod uplink mixes both edge switches' hosts as senders and every
+        # other pod's hosts as receivers.
+        assert a.sender_set_size == 4
+        assert a.receiver_set_size == 12
+
+    def test_entropy_is_log_of_set_size(self, ft):
+        view, r = ft
+        a = link_anonymity(r, "p0a0", "c1")
+        assert a.sender_entropy_bits == pytest.approx(math.log2(4))
+        assert a.receiver_entropy_bits == pytest.approx(math.log2(12))
+
+    def test_pair_count_consistent(self, ft):
+        view, r = ft
+        a = link_anonymity(r, "p0a0", "c1")
+        assert a.pair_count == len(r.plausible_pairs("p0a0", "c1"))
+        assert a.pair_count >= max(a.sender_set_size, a.receiver_set_size)
+
+
+class TestWalkAnonymity:
+    def test_profile_along_cross_pod_path(self, ft):
+        view, r = ft
+        walk = view.shortest_path("h1", "h16")
+        profile = walk_anonymity(r, walk)
+        assert len(profile) == len(walk) - 1
+        # Ends are exposed, the middle is anonymous.
+        assert profile[0].sender_set_size == 1
+        assert profile[-1].receiver_set_size == 1
+        middle = profile[len(profile) // 2]
+        assert middle.sender_set_size > 1 and middle.receiver_set_size > 1
+
+    def test_bigger_fabric_bigger_sets(self):
+        """Anonymity grows with the fabric: a k=6 fat-tree's core links mix
+        more hosts than a k=4's."""
+        small = AddressRestrictions(TopologyView(fat_tree(4)))
+        big = AddressRestrictions(TopologyView(fat_tree(6)))
+        a4 = link_anonymity(small, "p0a0", "c1")
+        a6 = link_anonymity(big, "p0a0", "c1")
+        assert a6.sender_set_size > a4.sender_set_size
+        assert a6.receiver_set_size > a4.receiver_set_size
+
+    def test_leaf_spine_uplink(self):
+        r = AddressRestrictions(TopologyView(leaf_spine(2, 4, 4)))
+        a = link_anonymity(r, "leaf1", "spine1")
+        assert a.sender_set_size == 4  # the leaf's hosts
+        assert a.receiver_set_size == 12  # everyone else

@@ -1,0 +1,98 @@
+"""Sec V: 'Compromise initiator or responder'.
+
+The adversary owns one endpoint and wants the identity of the other, to
+pick the next attack target (the paper's distributed-storage example).
+With hidden services, neither end learns the other's address.
+"""
+
+import pytest
+
+from repro.core import MicEndpoint, MicServer, MimicController
+from repro.net import Network, fat_tree
+from repro.sdn import Controller, L3ShortestPathApp
+
+
+@pytest.fixture()
+def deployment():
+    net = Network(fat_tree(4), seed=21)
+    ctrl = Controller(net)
+    mic = ctrl.register(MimicController())
+    ctrl.register(L3ShortestPathApp())
+    mic.register_hidden_service("metadata", "h11", 7000)
+    server = MicServer(net.host("h11"), 7000)
+    return net, mic, server
+
+
+def exchange(net, mic, server, client_host="h1"):
+    endpoint = MicEndpoint(net.host(client_host), mic)
+    state = {}
+
+    def client():
+        stream = yield from endpoint.connect("metadata")
+        state["client_stream"] = stream
+        stream.send(b"lookup")
+        state["reply"] = yield from stream.recv_exactly(6)
+
+    def srv():
+        stream = yield server.accept()
+        state["server_stream"] = stream
+        data = yield from stream.recv_exactly(6)
+        stream.send(data)
+
+    net.sim.process(client())
+    net.sim.process(srv())
+    net.run(until=net.sim.now + 30.0)
+    assert state["reply"] == b"lookup"
+    return state
+
+
+def test_compromised_initiator_cannot_name_responder(deployment):
+    """Everything the initiator's stack holds after the exchange — the
+    entry addresses its sockets point at — is a mimic address."""
+    net, mic, server = deployment
+    state = exchange(net, mic, server)
+    responder_ip = net.host("h11").ip
+    client_stream = state["client_stream"]
+    for conn in client_stream.conns:
+        assert conn.remote_ip != responder_ip
+
+
+def test_compromised_responder_cannot_name_initiator(deployment):
+    net, mic, server = deployment
+    state = exchange(net, mic, server)
+    initiator_ip = net.host("h1").ip
+    server_stream = state["server_stream"]
+    for conn in server_stream.conns:
+        assert conn.remote_ip != initiator_ip
+
+
+def test_two_clients_indistinguishable_to_responder(deployment):
+    """The responder cannot even tell whether two channels come from the
+    same client: observed sources are independent mimic draws."""
+    net, mic, server = deployment
+    s1 = exchange(net, mic, server, client_host="h1")
+    s2 = exchange(net, mic, server, client_host="h1")
+    seen1 = {str(c.remote_ip) for c in s1["server_stream"].conns}
+    seen2 = {str(c.remote_ip) for c in s2["server_stream"].conns}
+    real = str(net.host("h1").ip)
+    assert real not in seen1 | seen2
+
+
+def test_grant_reveals_no_responder_fields(deployment):
+    """The ChannelGrant (all a compromised initiator gets from the MC)
+    names only entry addresses and ports."""
+    net, mic, server = deployment
+    endpoint = MicEndpoint(net.host("h1"), mic)
+    state = {}
+
+    def client():
+        state["grant"] = yield from endpoint._request_channel(
+            "metadata", 0, 1, 3, 0
+        )
+
+    proc = net.sim.process(client())
+    net.run(until=proc)
+    grant = state["grant"]
+    responder_ip = net.host("h11").ip
+    for fg in grant.flows:
+        assert fg.entry_ip != responder_ip

@@ -1,0 +1,56 @@
+"""Unit tests for anonymity metrics."""
+
+import math
+
+import pytest
+
+from repro.attacks import (
+    anonymity_set_size,
+    linkage_success_rate,
+    normalized_entropy,
+    posterior_entropy,
+)
+
+
+def test_anonymity_set_size_dedups():
+    assert anonymity_set_size(["h1", "h2", "h1"]) == 2
+
+
+def test_entropy_uniform():
+    probs = {f"h{i}": 0.25 for i in range(4)}
+    assert posterior_entropy(probs) == pytest.approx(2.0)
+    assert normalized_entropy(probs) == pytest.approx(1.0)
+
+
+def test_entropy_certain():
+    probs = {"h1": 1.0, "h2": 0.0}
+    assert posterior_entropy(probs) == pytest.approx(0.0)
+    assert normalized_entropy(probs) == 0.0
+
+
+def test_entropy_unnormalized_input():
+    # Weights instead of probabilities are normalized internally.
+    probs = {"a": 2.0, "b": 2.0}
+    assert posterior_entropy(probs) == pytest.approx(1.0)
+
+
+def test_entropy_skewed_less_than_uniform():
+    skewed = posterior_entropy({"a": 0.9, "b": 0.05, "c": 0.05})
+    assert skewed < math.log2(3)
+
+
+def test_entropy_rejects_bad_input():
+    with pytest.raises(ValueError):
+        posterior_entropy({})
+    with pytest.raises(ValueError):
+        posterior_entropy({"a": -0.5, "b": 1.5})
+
+
+def test_single_subject_normalized_zero():
+    assert normalized_entropy({"a": 1.0}) == 0.0
+
+
+def test_linkage_success_rate():
+    assert linkage_success_rate([True, False, True, True]) == pytest.approx(0.75)
+    with pytest.raises(ValueError):
+        linkage_success_rate([])

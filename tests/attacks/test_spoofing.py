@@ -1,0 +1,96 @@
+"""Active injection: can a malicious host hijack a mimic channel?
+
+An insider who observed a channel's m-addresses (e.g. via a compromised
+switch) might try to forge packets carrying those addresses to inject data
+into the channel or impersonate an endpoint.  The rules' ``in_port`` match
+stops this: m-flow rules only accept the segment's triple on the port the
+legitimate path uses, and forged packets from a host arrive on a
+host-facing port instead.
+"""
+
+import pytest
+
+from repro.core import deploy_mic
+from repro.net import Packet
+
+
+@pytest.fixture()
+def channel():
+    dep = deploy_mic(seed=23)
+    server = dep.server("h16", 80)
+    endpoint = dep.endpoint("h1")
+    state = {}
+
+    def client():
+        stream = yield from endpoint.connect("h16", service_port=80, n_mns=3)
+        state["client"] = stream
+        stream.send(b"legit")
+
+    def srv():
+        stream = yield server.accept()
+        state["server"] = stream
+        yield from stream.recv_exactly(5)
+
+    dep.sim.process(client())
+    dep.sim.process(srv())
+    dep.run_for(10.0)
+    assert "server" in state
+    return dep, state
+
+
+def _forge(dep, addr, attacker="h4", proto="tcp"):
+    """Build a packet carrying a channel segment's exact m-address."""
+    host = dep.net.host(attacker)
+    return Packet(
+        eth_src=host.mac,
+        eth_dst=dep.net.topo.host_mac("h16"),
+        ip_src=addr.src_ip,
+        ip_dst=addr.dst_ip,
+        proto=proto,
+        sport=addr.sport,
+        dport=addr.dport,
+        mpls=addr.mpls,
+        payload=b"evil",
+        payload_size=4,
+    )
+
+
+def test_forged_interior_address_never_reaches_responder(channel):
+    dep, state = channel
+    plan = next(iter(dep.mic.channels.values())).flows[0]
+    interior = plan.fwd_addrs[1]  # a labeled mid-channel m-address
+    before = dep.net.host("h16").packets_received
+    attacker = dep.net.host("h4")
+    attacker.send_packet(_forge(dep, interior))
+    dep.run_for(5.0)
+    assert dep.net.host("h16").packets_received == before
+
+
+def test_forged_entry_address_from_wrong_host_misroutes(channel):
+    """Even the unlabeled entry 5-tuple is pinned to the initiator's real
+    source address and ingress direction: the attacker's packet claims
+    h1's address but arrives on h4's access port, so it cannot enter the
+    channel at the first MN and the stream never sees it."""
+    dep, state = channel
+    plan = next(iter(dep.mic.channels.values())).flows[0]
+    server_stream = state["server"]
+    received_before = server_stream.bytes_received
+    attacker = dep.net.host("h4")
+    attacker.send_packet(_forge(dep, plan.entry))
+    dep.run_for(5.0)
+    assert server_stream.bytes_received == received_before
+
+
+def test_legitimate_traffic_still_flows_after_forgery(channel):
+    dep, state = channel
+    attacker = dep.net.host("h4")
+    plan = next(iter(dep.mic.channels.values())).flows[0]
+    attacker.send_packet(_forge(dep, plan.fwd_addrs[1]))
+    state["client"].send(b"more!")
+
+    def srv_read():
+        state["more"] = yield from state["server"].recv_exactly(5)
+
+    dep.sim.process(srv_read())
+    dep.run_for(10.0)
+    assert state["more"] == b"more!"

@@ -1,0 +1,59 @@
+"""Unit tests for the target-location attack machinery."""
+
+import pytest
+
+from repro.attacks import ObservationPoint, rank_targets
+from repro.attacks.observer import Observation
+
+
+def point_with(observations):
+    p = ObservationPoint.__new__(ObservationPoint)
+    p.network = None
+    p.switch_name = "s"
+    p.observations = observations
+    return p
+
+
+def obs(dst, size, direction="in"):
+    return Observation(
+        time=0.0, switch="s", port=1, direction=direction,
+        src_ip="10.0.0.1", dst_ip=dst, sport=1, dport=2, mpls=None,
+        size=size, uid=0, content_tag=0,
+    )
+
+
+def test_ranking_orders_by_volume():
+    p = point_with([obs("10.0.0.9", 100), obs("10.0.0.5", 500),
+                    obs("10.0.0.9", 150)])
+    r = rank_targets([p])
+    assert r.top() == "10.0.0.5"
+    assert r.position_of("10.0.0.9") == 2
+    assert r.position_of("10.0.0.7") == 3  # unobserved -> beyond the list
+
+
+def test_concentration():
+    p = point_with([obs("a", 900), obs("b", 100)])
+    assert rank_targets([p]).concentration() == pytest.approx(0.9)
+
+
+def test_egress_not_counted():
+    p = point_with([obs("a", 100, direction="out"), obs("b", 10)])
+    assert rank_targets([p]).top() == "b"
+
+
+def test_exclusion():
+    p = point_with([obs("mc", 10_000), obs("b", 10)])
+    r = rank_targets([p], exclude_ips=["mc"])
+    assert r.top() == "b"
+
+
+def test_multiple_points_aggregate():
+    p1 = point_with([obs("a", 100)])
+    p2 = point_with([obs("a", 100), obs("b", 150)])
+    r = rank_targets([p1, p2])
+    assert r.top() == "a"  # 200 vs 150
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        rank_targets([point_with([])])

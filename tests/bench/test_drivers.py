@@ -1,0 +1,89 @@
+"""Integration tests for the protocol session drivers and testbed."""
+
+import pytest
+
+from repro.bench import Testbed, open_mic, open_ssl, open_tcp, open_tor, run_process
+from repro.workloads import measure_echo
+
+
+@pytest.fixture(scope="module")
+def bed():
+    return Testbed.create(seed=0)
+
+
+def test_testbed_shape(bed):
+    assert len(bed.net.topo.switches()) == 20
+    assert len(bed.net.topo.hosts()) == 16
+    assert len(bed.relays) == 7
+    assert bed.ctrl.packet_in_count == 0  # pre-wired
+
+
+def test_tcp_session_echo():
+    bed = Testbed.create(seed=1)
+    session = run_process(bed.net, open_tcp(bed, "h1", "h16", 10001))
+    assert session.protocol == "tcp"
+    assert session.setup_s > 0
+    echo = run_process(
+        bed.net, measure_echo(bed.net.sim, session.client, session.server, 10)
+    )
+    assert echo.rtt_s > 0
+
+
+def test_ssl_session_slower_setup_than_tcp():
+    bed = Testbed.create(seed=2)
+    tcp = run_process(bed.net, open_tcp(bed, "h1", "h16", 10002))
+    ssl = run_process(bed.net, open_ssl(bed, "h2", "h15", 10003))
+    assert ssl.setup_s > tcp.setup_s * 2
+
+
+def test_mic_tcp_session_echo():
+    bed = Testbed.create(seed=3)
+    session = run_process(bed.net, open_mic(bed, "h1", "h16", 10004, n_mns=3))
+    assert session.protocol == "mic-tcp"
+    echo = run_process(
+        bed.net, measure_echo(bed.net.sim, session.client, session.server, 10)
+    )
+    assert echo.rtt_s > 0
+    assert bed.mic.live_channels == 1
+
+
+def test_mic_ssl_session_echo():
+    bed = Testbed.create(seed=4)
+    session = run_process(
+        bed.net, open_mic(bed, "h1", "h16", 10005, n_mns=3, over_ssl=True)
+    )
+    assert session.protocol == "mic-ssl"
+    echo = run_process(
+        bed.net, measure_echo(bed.net.sim, session.client, session.server, 10)
+    )
+    assert echo.rtt_s > 0
+
+
+def test_tor_session_echo():
+    bed = Testbed.create(seed=5)
+    session = run_process(bed.net, open_tor(bed, "h1", "h16", 10006, route_len=3))
+    assert session.protocol == "tor"
+    echo = run_process(
+        bed.net, measure_echo(bed.net.sim, session.client, session.server, 10)
+    )
+    assert echo.rtt_s > 0
+
+
+def test_protocol_latency_ordering():
+    """The Fig 8 ordering must hold for any seed: tor >> ssl >= tcp."""
+    bed = Testbed.create(seed=6)
+    rtts = {}
+    specs = [
+        ("tcp", open_tcp(bed, "h1", "h16", 10007)),
+        ("ssl", open_ssl(bed, "h2", "h15", 10008)),
+        ("tor", open_tor(bed, "h3", "h14", 10009, route_len=3)),
+    ]
+    for name, opener in specs:
+        session = run_process(bed.net, opener)
+        echo = run_process(
+            bed.net,
+            measure_echo(bed.net.sim, session.client, session.server, 10),
+        )
+        rtts[name] = echo.rtt_s
+    assert rtts["tor"] > 10 * rtts["tcp"]
+    assert rtts["ssl"] >= rtts["tcp"] * 0.9

@@ -1,0 +1,56 @@
+"""Unit tests for the bench harness (FigureResult, formatting)."""
+
+import pytest
+
+from repro.bench import FigureResult, fmt_si
+
+
+class TestFmtSi:
+    @pytest.mark.parametrize(
+        "value,unit,expected",
+        [
+            (1.25e9, "bps", "1.25 Gbps"),
+            (2.5e6, "bps", "2.5 Mbps"),
+            (3e3, "B", "3 kB"),
+            (5.0, "s", "5 s"),
+            (0.0, "s", "0 s"),
+            (1.5e-3, "s", "1.5 ms"),
+            (2e-6, "s", "2 µs"),
+            (3e-9, "s", "3 ns"),
+            (float("inf"), "s", "inf"),
+        ],
+    )
+    def test_formatting(self, value, unit, expected):
+        assert fmt_si(value, unit) == expected
+
+
+class TestFigureResult:
+    def make(self):
+        r = FigureResult("Fig X", "demo", x_label="n", y_label="val", unit="s")
+        r.add("A", 1, 0.5)
+        r.add("A", 2, 1.0)
+        r.add("B", 1, 2.0)
+        return r
+
+    def test_value_lookup(self):
+        r = self.make()
+        assert r.value("A", 2) == 1.0
+        with pytest.raises(KeyError):
+            r.value("A", 3)
+        with pytest.raises(KeyError):
+            r.value("C", 1)
+
+    def test_xs_preserves_insert_order(self):
+        r = self.make()
+        assert r.xs() == [1, 2]
+
+    def test_table_renders_missing_as_dash(self):
+        text = self.make().format_table()
+        assert "Fig X" in text and "demo" in text
+        lines = text.splitlines()
+        # B has no point at x=2 -> a dash in the last row.
+        assert lines[-1].strip().endswith("-")
+
+    def test_table_contains_all_series(self):
+        text = self.make().format_table()
+        assert "A" in text and "B" in text and "500 ms" in text

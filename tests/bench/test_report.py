@@ -1,0 +1,67 @@
+"""Tests for the markdown report generator and the CLI."""
+
+import pathlib
+
+import pytest
+
+from repro.bench import FigureResult
+from repro.bench.report import render_report
+
+
+def sample_result():
+    r = FigureResult("Fig X", "demo", x_label="n", y_label="val", unit="s")
+    r.add("A", 1, 0.001)
+    r.add("A", 2, 0.002)
+    r.add("B", 1, 0.005)
+    return r
+
+
+class TestRenderReport:
+    def test_contains_tables_and_preamble(self):
+        text = render_report([sample_result()])
+        assert "# MIC reproduction report" in text
+        assert "## Fig X — demo" in text
+        assert "| n | A | B |" in text
+        assert "1 ms" in text
+
+    def test_missing_points_rendered_as_dash(self):
+        text = render_report([sample_result()])
+        assert "—" in text
+
+    def test_elapsed_and_notes(self):
+        text = render_report([sample_result()], elapsed_s=12.5, notes="_hi_")
+        assert "12.5 s" in text and "_hi_" in text
+
+    def test_multiple_results(self):
+        r2 = FigureResult("Fig Y", "other", x_label="x", y_label="y")
+        r2.add("S", "a", 1.0)
+        text = render_report([sample_result(), r2])
+        assert "## Fig X" in text and "## Fig Y" in text
+
+
+class TestCli:
+    def test_list(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out and "scalability" in out
+
+    def test_unknown_figure_rejected(self):
+        from repro.bench.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_quick_run_with_save_and_report(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        report = tmp_path / "report.md"
+        rc = main([
+            "--quick", "scalability",
+            "--save", str(tmp_path),
+            "--report", str(report),
+        ])
+        assert rc == 0
+        assert (tmp_path / "scalability.txt").exists()
+        assert "MIC reproduction report" in report.read_text()

@@ -1,0 +1,109 @@
+"""Tests for distributed-controller ID-space sharding (Sec VI-C)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    IdSpacePartition,
+    MimicController,
+    ShardedFlowIdAllocator,
+    shard_controllers,
+)
+from repro.net import Network, fat_tree
+from repro.sdn import Controller
+
+
+class TestShardedAllocator:
+    def test_ids_within_bounds(self):
+        alloc = ShardedFlowIdAllocator(base=100, size=10)
+        ids = [alloc.allocate() for _ in range(10)]
+        assert all(100 <= i < 110 for i in ids)
+        assert len(set(ids)) == 10
+
+    def test_exhaustion_at_shard_size(self):
+        alloc = ShardedFlowIdAllocator(base=0, size=2)
+        alloc.allocate()
+        alloc.allocate()
+        with pytest.raises(RuntimeError):
+            alloc.allocate()
+
+    def test_release_and_ownership(self):
+        alloc = ShardedFlowIdAllocator(base=50, size=4)
+        fid = alloc.allocate()
+        assert alloc.is_live(fid) and alloc.owns(fid)
+        alloc.release(fid)
+        assert not alloc.is_live(fid)
+        with pytest.raises(ValueError):
+            alloc.release(999)
+
+    def test_bad_bounds(self):
+        with pytest.raises(ValueError):
+            ShardedFlowIdAllocator(-1, 5)
+        with pytest.raises(ValueError):
+            ShardedFlowIdAllocator(0, 0)
+
+
+class TestPartition:
+    def test_shards_cover_space_disjointly(self):
+        part = IdSpacePartition(total_values=100, n_shards=3)
+        ranges = [
+            set(range(s.base, s.base + s.size)) for s in part.shards()
+        ]
+        union = set().union(*ranges)
+        assert union == set(range(100))
+        assert sum(len(r) for r in ranges) == 100  # pairwise disjoint
+
+    @settings(max_examples=80, deadline=None)
+    @given(total=st.integers(1, 10_000), n=st.integers(1, 32))
+    def test_partition_property(self, total, n):
+        if total < n:
+            with pytest.raises(ValueError):
+                IdSpacePartition(total, n)
+            return
+        part = IdSpacePartition(total, n)
+        seen = set()
+        for s in part.shards():
+            ids = set(range(s.base, s.base + s.size))
+            assert not (seen & ids)
+            seen |= ids
+        assert seen == set(range(total))
+
+    def test_bad_shard_index(self):
+        part = IdSpacePartition(10, 2)
+        with pytest.raises(ValueError):
+            part.shard(2)
+
+
+class TestShardControllers:
+    def _mics(self, n):
+        mics = []
+        for i in range(n):
+            net = Network(fat_tree(4), seed=i)
+            ctrl = Controller(net)
+            mics.append(ctrl.register(MimicController()))
+        return mics
+
+    def test_cross_controller_ids_never_collide(self):
+        mics = self._mics(2)
+        shard_controllers(mics)
+        ids_a = [mics[0].flow_ids.allocate() for _ in range(50)]
+        ids_b = [mics[1].flow_ids.allocate() for _ in range(50)]
+        assert not (set(ids_a) & set(ids_b))
+
+    def test_resharding_with_live_flows_rejected(self):
+        mics = self._mics(2)
+        mics[0].flow_ids.allocate()
+        with pytest.raises(ValueError):
+            shard_controllers(mics)
+
+    def test_mismatched_spaces_rejected(self):
+        net1 = Network(fat_tree(4), seed=0)
+        mic1 = Controller(net1).register(MimicController())
+        net2 = Network(fat_tree(4), seed=1)
+        mic2 = Controller(net2).register(MimicController(flow_shift=4))
+        with pytest.raises(ValueError):
+            shard_controllers([mic1, mic2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            shard_controllers([])

@@ -1,0 +1,151 @@
+"""Edge cases and failure paths of the Mimic Controller."""
+
+import pytest
+
+from repro.core import MimicController, MC_IP, MC_PORT, McReply, McRequest
+from repro.core.controller import EstablishError
+from repro.crypto import Key, seal
+from repro.net import Network, fat_tree, ip, linear
+from repro.sdn import Controller, L3ShortestPathApp
+
+
+def build(topo=None, seed=0, **kw):
+    net = Network(topo or fat_tree(4), seed=seed)
+    ctrl = Controller(net)
+    mic = ctrl.register(MimicController(**kw))
+    ctrl.register(L3ShortestPathApp())
+    return net, ctrl, mic
+
+
+def run_gen(net, gen):
+    proc = net.sim.process(gen)
+    net.run(until=proc)
+    return proc.value
+
+
+class TestEstablishValidation:
+    def test_bad_counts(self):
+        net, ctrl, mic = build()
+        with pytest.raises(EstablishError):
+            run_gen(net, mic.establish("h1", "h2", service_port=80, n_flows=0))
+        with pytest.raises(EstablishError):
+            run_gen(net, mic.establish("h1", "h2", service_port=80, n_mns=0))
+
+    def test_address_responder_requires_port(self):
+        net, ctrl, mic = build()
+        with pytest.raises(EstablishError, match="service_port"):
+            run_gen(net, mic.establish("h1", net.host("h16").ip))
+
+    def test_unknown_address(self):
+        net, ctrl, mic = build()
+        with pytest.raises(EstablishError, match="no host"):
+            run_gen(net, mic.establish("h1", ip("10.99.99.99"), service_port=80))
+
+    def test_bad_responder_type(self):
+        net, ctrl, mic = build()
+        with pytest.raises(EstablishError):
+            run_gen(net, mic.establish("h1", 12345, service_port=80))
+
+    def test_hidden_service_registration_validates_host(self):
+        net, ctrl, mic = build()
+        with pytest.raises(ValueError):
+            mic.register_hidden_service("svc", "ghost-host", 80)
+
+    def test_too_many_mns_for_tiny_topology(self):
+        net, ctrl, mic = build(linear(1, hosts_per_switch=2))
+        with pytest.raises((EstablishError, ValueError)):
+            run_gen(net, mic.establish("h1", "h2", service_port=80, n_mns=6))
+
+    def test_rollback_releases_ids_on_failure(self):
+        net, ctrl, mic = build(linear(1, hosts_per_switch=2))
+        live_before = mic.flow_ids.live_count
+        with pytest.raises(Exception):
+            run_gen(net, mic.establish("h1", "h2", service_port=80,
+                                       n_flows=3, n_mns=6))
+        assert mic.flow_ids.live_count == live_before
+        assert mic.registry.total_keys() == 0
+
+
+class TestRequestPath:
+    def test_garbage_request_ignored(self):
+        """A request sealed under the wrong key is dropped silently."""
+        net, ctrl, mic = build()
+        h1 = net.host("h1")
+        wrong_key = Key(label="attacker")
+        req = McRequest(kind="establish", reply_port=5555, responder="h16",
+                        service_port=80)
+        pkt = h1.make_packet(MC_IP, proto="udp", sport=5555, dport=MC_PORT,
+                             payload=seal(wrong_key, req), payload_size=128)
+        h1.send_packet(pkt)
+        net.run(until=1.0)
+        assert mic.live_channels == 0
+
+    def test_unknown_request_kind_refused(self):
+        net, ctrl, mic = build()
+        h1 = net.host("h1")
+        replies = []
+        h1.bind("udp", 5556, lambda _h, p: replies.append(p))
+        key = mic.client_key("h1")
+        req = McRequest(kind="frobnicate", reply_port=5556)
+        pkt = h1.make_packet(MC_IP, proto="udp", sport=5556, dport=MC_PORT,
+                             payload=seal(key, req), payload_size=128)
+        h1.send_packet(pkt)
+        net.run(until=1.0)
+        assert len(replies) == 1
+        from repro.crypto import unseal
+
+        reply = unseal(key, replies[0].payload)
+        assert isinstance(reply, McReply) and not reply.ok
+
+    def test_establish_refusal_is_replied(self):
+        net, ctrl, mic = build()
+        h1 = net.host("h1")
+        replies = []
+        h1.bind("udp", 5557, lambda _h, p: replies.append(p))
+        key = mic.client_key("h1")
+        req = McRequest(kind="establish", reply_port=5557,
+                        responder="no-such-service")
+        pkt = h1.make_packet(MC_IP, proto="udp", sport=5557, dport=MC_PORT,
+                             payload=seal(key, req), payload_size=128)
+        h1.send_packet(pkt)
+        net.run(until=1.0)
+        from repro.crypto import unseal
+
+        reply = unseal(key, replies[0].payload)
+        assert not reply.ok and "no-such-service" in reply.error
+
+    def test_non_mc_packets_not_consumed(self):
+        """MIC's packet-in hook must leave ordinary traffic to the L3 app."""
+        net, ctrl, mic = build()
+        h1, h16 = net.host("h1"), net.host("h16")
+        got = []
+        h16.bind("tcp", 80, lambda _h, p: got.append(p))
+        h1.send_packet(h1.make_packet(h16.ip, dport=80, payload_size=1))
+        net.run(until=1.0)
+        assert len(got) == 1  # L3 app routed it
+
+
+class TestConfigValidation:
+    def test_bad_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            MimicController(mn_strategy="psychic")
+
+    def test_spread_strategy_places_n_mns(self):
+        net, ctrl, mic = build(mn_strategy="spread")
+        grant = run_gen(net, mic.establish("h1", "h16", service_port=80, n_mns=3))
+        plan = mic.channels[grant.channel_id].flows[0]
+        assert len(plan.mn_positions) == 3
+
+    def test_mc_cpu_accounting_grows(self):
+        net, ctrl, mic = build()
+        from repro.core import MicEndpoint, MicServer
+
+        MicServer(net.host("h16"), 80)
+        endpoint = MicEndpoint(net.host("h1"), mic)
+
+        def client():
+            yield from endpoint.connect("h16", service_port=80)
+
+        run_gen(net, client())
+        assert mic.cpu_busy_s > 0
+        assert mic.requests_served == 1

@@ -1,0 +1,90 @@
+"""Tests for the cover-traffic extension."""
+
+import pytest
+
+from repro.attacks import observe_switches, rank_targets
+from repro.core import MC_IP, CoverTraffic, deploy_mic
+
+
+def hub_workload(dep, hub="h16", clients=("h1", "h2", "h3"), nbytes=30_000):
+    """Real hub-and-spoke traffic over MIC."""
+    server = dep.server(hub, 9000)
+
+    def srv():
+        while True:
+            stream = yield server.accept()
+
+            def drain(s):
+                while True:
+                    data = yield s.recv(65536)
+                    if not data:
+                        return
+
+            dep.sim.process(drain(stream))
+
+    def client(name):
+        endpoint = dep.endpoint(name)
+        stream = yield from endpoint.connect(hub, service_port=9000, n_mns=2)
+        stream.send(b"r" * nbytes)
+
+    dep.sim.process(srv())
+    for name in clients:
+        dep.sim.process(client(name))
+
+
+class TestMechanics:
+    def test_dummies_launch_and_flow(self):
+        dep = deploy_mic(seed=50)
+        cover = CoverTraffic(dep, hosts=[f"h{i}" for i in range(1, 9)])
+        cover.start(rate_per_s=40, horizon_s=1.0, bytes_low=1000,
+                    bytes_high=2000)
+        dep.run_for(3.0)
+        assert cover.channels_launched > 10
+        assert cover.bytes_sent > 10_000
+        # Dummy channels tear themselves down.
+        dep.run_for(5.0)
+        assert dep.mic.live_channels <= 2
+
+    def test_bad_parameters(self):
+        dep = deploy_mic(seed=51)
+        cover = CoverTraffic(dep, hosts=["h1", "h2"])
+        with pytest.raises(ValueError):
+            cover.start(rate_per_s=0, horizon_s=1.0)
+        with pytest.raises(ValueError):
+            cover.start(rate_per_s=1.0, horizon_s=0)
+
+    def test_cover_channels_are_real_channels(self):
+        """On the wire, dummies are indistinguishable because they *are*
+        mimic channels: same rule priorities, same label classes."""
+        dep = deploy_mic(seed=52)
+        cover = CoverTraffic(dep, hosts=["h1", "h2", "h5", "h6"])
+        cover.start(rate_per_s=20, horizon_s=0.5)
+        dep.run_for(0.3)
+        assert dep.mic.live_channels > 0  # indistinct from real ones
+
+
+class TestAgainstEdgeTargeting:
+    """The volume attack at *edge* taps: mimicry alone cannot hide the
+    hub's real inbound bytes, cover traffic can."""
+
+    def _concentration(self, with_cover: bool) -> float:
+        dep = deploy_mic(seed=53)
+        edge_switches = [
+            s for s in dep.net.topo.switches()
+            if dep.net.topo.graph.nodes[s].get("layer") == "edge"
+        ]
+        points = observe_switches(dep.net, edge_switches)
+        hub_workload(dep)
+        if with_cover:
+            cover = CoverTraffic(dep)
+            cover.start(rate_per_s=60, horizon_s=2.0,
+                        bytes_low=20_000, bytes_high=40_000)
+        dep.run_for(6.0)
+        ranking = rank_targets(points.values(), exclude_ips=[str(MC_IP)])
+        return ranking.concentration()
+
+    def test_cover_flattens_edge_volume(self):
+        plain = self._concentration(with_cover=False)
+        covered = self._concentration(with_cover=True)
+        assert plain > 0.3  # the hub's real volume stands out
+        assert covered < plain * 0.6  # cover dilutes it substantially

@@ -1,0 +1,203 @@
+"""Link-failure handling: rerouting common flows and repairing m-flows.
+
+The paper's centralized MC has the global view needed to survive fabric
+faults; these tests exercise the extension: when a link dies, affected
+common-flow pairs are rerouted and affected m-flows are re-planned over the
+surviving fabric with their entry/delivery addresses pinned, so endpoint
+transport connections survive transparently.
+"""
+
+import pytest
+
+from repro.core import MicEndpoint, MicServer, MimicController, MIC_PRIORITY
+from repro.net import Network, fat_tree
+from repro.sdn import Controller, L3ShortestPathApp
+from repro.transport import TcpStack
+
+
+def build(seed=0):
+    net = Network(fat_tree(4), seed=seed)
+    ctrl = Controller(net)
+    mic = ctrl.register(MimicController())
+    l3 = ctrl.register(L3ShortestPathApp())
+    return net, ctrl, mic, l3
+
+
+class TestViewUpdates:
+    def test_view_drops_failed_link(self):
+        net, ctrl, mic, l3 = build()
+        d_before = ctrl.view.distance("h1", "h16")
+        path = ctrl.view.shortest_path("h1", "h16")
+        net.set_link_state(path[1], path[2], False)
+        assert not ctrl.view.graph.has_edge(path[1], path[2])
+        # Fat-tree has alternate equal-cost routes: distance is preserved.
+        assert ctrl.view.distance("h1", "h16") == d_before
+        for p in ctrl.view.equal_cost_paths("h1", "h16"):
+            assert (path[1], path[2]) not in list(zip(p, p[1:]))
+
+    def test_link_recovery_restores_edge(self):
+        net, ctrl, mic, l3 = build()
+        net.set_link_state("p0e0", "p0a0", False)
+        net.set_link_state("p0e0", "p0a0", True)
+        assert ctrl.view.graph.has_edge("p0e0", "p0a0")
+
+
+class TestL3Reroute:
+    def test_pair_rerouted_and_delivery_continues(self):
+        net, ctrl, mic, l3 = build()
+        l3.wire_pair("h1", "h16")
+        net.run()
+        old_path = l3.pair_paths[("h1", "h16")]
+        # Kill an interior link of the installed path.
+        net.set_link_state(old_path[2], old_path[3], False)
+        net.run(until=net.sim.now + 0.1)
+        new_path = l3.pair_paths[("h1", "h16")]
+        assert (old_path[2], old_path[3]) not in list(zip(new_path, new_path[1:]))
+        # Traffic flows over the new path.
+        client, server = TcpStack(net.host("h1")), TcpStack(net.host("h16"))
+        listener = server.listen(80)
+        got = {}
+
+        def srv():
+            conn = yield listener.accept()
+            got["data"] = yield from conn.recv_exactly(4)
+
+        def cli():
+            conn = yield client.connect(server.host.ip, 80)
+            conn.send(b"ping")
+
+        net.sim.process(srv())
+        net.sim.process(cli())
+        net.run(until=net.sim.now + 5.0)
+        assert got.get("data") == b"ping"
+
+    def test_unrelated_pairs_untouched(self):
+        net, ctrl, mic, l3 = build()
+        l3.wire_pair("h1", "h16")
+        l3.wire_pair("h2", "h3")  # intra-pod pair
+        net.run()
+        intra = l3.pair_paths[("h2", "h3")]
+        inter = l3.pair_paths[("h1", "h16")]
+        # Kill a core link used only by the inter-pod pair.
+        core_edge = next(
+            (u, v) for u, v in zip(inter, inter[1:]) if u.startswith("c") or v.startswith("c")
+        )
+        net.set_link_state(*core_edge, False)
+        net.run(until=net.sim.now + 0.1)
+        assert l3.pair_paths[("h2", "h3")] == intra
+
+
+class TestMicRepair:
+    def _establish(self, net, mic, n_mns=3):
+        result = {}
+
+        def go():
+            result["grant"] = yield from mic.establish(
+                "h1", "h16", service_port=80, n_mns=n_mns
+            )
+
+        proc = net.sim.process(go())
+        net.run(until=proc)
+        return result["grant"]
+
+    def test_repaired_walk_avoids_dead_link(self):
+        net, ctrl, mic, l3 = build()
+        grant = self._establish(net, mic)
+        plan = mic.channels[grant.channel_id].flows[0]
+        old_walk = list(plan.walk)
+        # Fail an interior fabric link of the walk (not a host access link,
+        # which has no alternative).
+        edge = next(
+            (u, v) for u, v in zip(old_walk[1:], old_walk[2:-1])
+        )
+        net.set_link_state(*edge, False)
+        net.run(until=net.sim.now + 0.2)
+        new_plan = mic.channels[grant.channel_id].flows[0]
+        assert (edge not in list(zip(new_plan.walk, new_plan.walk[1:])))
+        assert (tuple(reversed(edge))
+                not in list(zip(new_plan.walk, new_plan.walk[1:])))
+
+    def test_repair_pins_entry_and_delivery(self):
+        net, ctrl, mic, l3 = build()
+        grant = self._establish(net, mic)
+        old = mic.channels[grant.channel_id].flows[0]
+        edge = (old.walk[2], old.walk[3])
+        net.set_link_state(*edge, False)
+        net.run(until=net.sim.now + 0.2)
+        new = mic.channels[grant.channel_id].flows[0]
+        assert new.flow_id == old.flow_id
+        assert new.entry == old.entry  # client-visible identity unchanged
+        assert new.delivery.src_ip == old.delivery.src_ip
+        assert new.delivery.sport == old.delivery.sport
+        assert new.delivery.dst_ip == old.delivery.dst_ip
+        assert new.delivery.dport == old.delivery.dport
+
+    def test_transfer_survives_link_failure(self):
+        """End-to-end: a bulk MIC transfer keeps going across a fabric
+        fault; go-back-N re-covers the blackout window."""
+        net, ctrl, mic, l3 = build()
+        server = MicServer(net.host("h16"), 80)
+        endpoint = MicEndpoint(net.host("h1"), mic)
+        payload = bytes(range(256)) * 256  # 64 KiB
+        result = {}
+
+        def client():
+            stream = yield from endpoint.connect("h16", service_port=80, n_mns=3)
+            result["stream"] = stream
+            stream.send(payload[: len(payload) // 2])
+            # Let the first half land, then fail a link mid-channel.
+            yield net.sim.timeout(0.05)
+            plan = next(iter(mic.channels.values())).flows[0]
+            interior = (plan.walk[2], plan.walk[3])
+            net.set_link_state(*interior, False)
+            yield net.sim.timeout(0.05)
+            stream.send(payload[len(payload) // 2 :])
+
+        def srv():
+            stream = yield server.accept()
+            result["got"] = yield from stream.recv_exactly(len(payload))
+
+        net.sim.process(client())
+        net.sim.process(srv())
+        net.run(until=30.0)
+        assert result.get("got") == payload
+
+    def test_collision_registry_consistent_after_repair(self):
+        net, ctrl, mic, l3 = build()
+        grant = self._establish(net, mic)
+        plan = mic.channels[grant.channel_id].flows[0]
+        edge = (plan.walk[2], plan.walk[3])
+        net.set_link_state(*edge, False)
+        net.run(until=net.sim.now + 0.2)
+        for sw in net.switches():
+            keys = [
+                e.match.key()
+                for e in sw.table.entries
+                if e.priority == MIC_PRIORITY
+            ]
+            assert len(keys) == len(set(keys))
+
+    def test_unaffected_channel_not_touched(self):
+        net, ctrl, mic, l3 = build()
+        g1 = self._establish(net, mic)
+        plan1 = mic.channels[g1.channel_id].flows[0]
+
+        result = {}
+
+        def go():
+            result["g2"] = yield from mic.establish("h3", "h14", service_port=80,
+                                                    n_mns=2)
+
+        proc = net.sim.process(go())
+        net.run(until=proc)
+        g2 = result["g2"]
+        plan2_before = mic.channels[g2.channel_id].flows[0]
+        # Fail a link only on channel 1's walk.
+        edge = next(
+            (u, v)
+            for u, v in zip(plan1.walk[1:], plan1.walk[2:-1])
+            if not mic._walk_uses(plan2_before.walk, u, v)
+        )
+        net.set_link_state(*edge, False)
+        net.run(until=net.sim.now + 0.2)
+        assert mic.channels[g2.channel_id].flows[0] is plan2_before

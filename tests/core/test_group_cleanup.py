@@ -1,0 +1,67 @@
+"""Regression: decoy group entries are removed at channel teardown."""
+
+from repro.core import deploy_mic
+
+
+def total_groups(net) -> int:
+    return sum(len(sw.table.groups) for sw in net.switches())
+
+
+def test_decoy_groups_removed_on_teardown():
+    dep = deploy_mic(seed=71)
+
+    def go():
+        return (
+            yield from dep.mic.establish("h1", "h16", service_port=80,
+                                         n_mns=3, decoys=2)
+        )
+
+    proc = dep.sim.process(go())
+    dep.run(until=proc)
+    assert total_groups(dep.net) >= 1  # the partial-multicast group exists
+    dep.mic.teardown(proc.value.channel_id)
+    dep.run_for(1.0)
+    assert total_groups(dep.net) == 0
+
+
+def test_repair_does_not_leak_groups():
+    dep = deploy_mic(seed=72)
+
+    def go():
+        return (
+            yield from dep.mic.establish("h1", "h16", service_port=80,
+                                         n_mns=3, decoys=1)
+        )
+
+    proc = dep.sim.process(go())
+    dep.run(until=proc)
+    plan = dep.mic.channels[proc.value.channel_id].flows[0]
+    groups_before = total_groups(dep.net)
+    dep.net.set_link_state(plan.walk[2], plan.walk[3], False)
+    dep.run_for(0.5)
+    # Repair re-created at most the same number of groups; the old ones are
+    # gone with the old cookie's rules.
+    assert total_groups(dep.net) <= groups_before
+    dep.mic.teardown(proc.value.channel_id)
+    dep.run_for(1.0)
+    assert total_groups(dep.net) == 0
+
+
+def test_unrelated_cookie_untouched():
+    dep = deploy_mic(seed=73)
+
+    def go():
+        a = yield from dep.mic.establish("h1", "h16", service_port=80,
+                                         decoys=1, n_mns=3)
+        b = yield from dep.mic.establish("h2", "h15", service_port=80,
+                                         decoys=1, n_mns=3)
+        return a, b
+
+    proc = dep.sim.process(go())
+    dep.run(until=proc)
+    a, b = proc.value
+    before = total_groups(dep.net)
+    dep.mic.teardown(a.channel_id)
+    dep.run_for(1.0)
+    after = total_groups(dep.net)
+    assert 0 < after < before

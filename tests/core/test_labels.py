@@ -1,0 +1,119 @@
+"""Unit and property tests for the MPLS label-space partition."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.labels import LabelSpace, LabelSpaceExhausted
+
+
+def make_space(seed=0, **kw):
+    return LabelSpace(random.Random(seed), **kw)
+
+
+class TestStructure:
+    def test_split_join_roundtrip(self):
+        ls = make_space()
+        label = ls.join(0xABCD, 0x1234)
+        assert ls.split(label) == (0xABCD, 0x1234)
+
+    def test_join_range_checked(self):
+        ls = make_space()
+        with pytest.raises(ValueError):
+            ls.join(1 << 16, 0)
+        with pytest.raises(ValueError):
+            ls.join(0, 1 << 16)
+
+    def test_odd_mn_bits_rejected(self):
+        with pytest.raises(ValueError):
+            make_space(mn_bits=15)
+
+    def test_capacity(self):
+        ls = make_space(mn_shift=2)
+        assert ls.capacity == 1 << (8 - 2)
+
+
+class TestOwnership:
+    def test_common_registered_at_birth(self):
+        ls = make_space()
+        assert ls.registered == 1
+
+    def test_register_mn_unique_sids(self):
+        ls = make_space()
+        sids = [ls.register_mn(f"s{i}") for i in range(20)]
+        assert len(set(sids)) == 20
+        assert ls.common_sid not in sids
+
+    def test_double_register_rejected(self):
+        ls = make_space()
+        ls.register_mn("s1")
+        with pytest.raises(ValueError):
+            ls.register_mn("s1")
+
+    def test_reserved_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_space().register_mn(LabelSpace.COMMON)
+
+    def test_exhaustion(self):
+        ls = make_space(mn_bits=8, mn_shift=2)  # 4-bit halves, shift 2 -> 4 ids
+        for i in range(ls.capacity - 1):  # one taken by common
+            ls.register_mn(f"s{i}")
+        with pytest.raises(LabelSpaceExhausted):
+            ls.register_mn("overflow")
+
+
+class TestClassification:
+    """Labels drawn for an owner always classify back to that owner, and
+    ownership sets are disjoint by construction."""
+
+    def test_mn_labels_classify_back(self):
+        rng = random.Random(1)
+        ls = make_space()
+        for i in range(10):
+            ls.register_mn(f"s{i}")
+        for i in range(10):
+            for _ in range(20):
+                mn_part = ls.mn_part_for(f"s{i}", rng)
+                label = ls.join(mn_part, rng.getrandbits(16))
+                assert ls.owner_of(label) == f"s{i}"
+
+    def test_common_labels_classify_common(self):
+        rng = random.Random(2)
+        ls = make_space()
+        ls.register_mn("s1")
+        for _ in range(50):
+            assert ls.is_common(ls.common_label(rng))
+
+    def test_flow_part_does_not_affect_ownership(self):
+        rng = random.Random(3)
+        ls = make_space()
+        ls.register_mn("s1")
+        mn_part = ls.mn_part_for("s1", rng)
+        owners = {ls.owner_of(ls.join(mn_part, fp)) for fp in range(0, 65536, 997)}
+        assert owners == {"s1"}
+
+    def test_unassigned_sid_returns_none(self):
+        ls = make_space(mn_bits=16, mn_shift=2)
+        # With only "common" registered, most random labels are unowned.
+        rng = random.Random(4)
+        unowned = sum(
+            ls.owner_of(rng.getrandbits(32)) is None for _ in range(200)
+        )
+        assert unowned > 150
+
+    @settings(max_examples=100, deadline=None)
+    @given(seed=st.integers(0, 100), draws=st.integers(1, 30))
+    def test_disjointness_property(self, seed, draws):
+        rng = random.Random(seed)
+        ls = LabelSpace(rng)
+        for i in range(8):
+            ls.register_mn(f"s{i}")
+        seen: dict[int, str] = {}
+        for i in range(8):
+            for _ in range(draws):
+                mn_part = ls.mn_part_for(f"s{i}", rng)
+                label = ls.join(mn_part, rng.getrandbits(16))
+                prev = seen.get(label)
+                assert prev is None or prev == f"s{i}"
+                seen[label] = f"s{i}"

@@ -1,0 +1,165 @@
+"""Unit and property tests for the MAGA reversible hash family."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.maga import HashParams, ReversibleHash
+
+
+def make_paper_f(seed=0):
+    """The paper's 3-variable f(x, y, z) over 32-bit variables."""
+    return ReversibleHash.random(random.Random(seed), widths=(32, 32, 32), shift=8)
+
+
+class TestConstruction:
+    def test_value_bits(self):
+        h = make_paper_f()
+        assert h.value_bits == 24
+        assert h.n_values == 1 << 24
+
+    def test_param_count_checked(self):
+        with pytest.raises(ValueError):
+            ReversibleHash(widths=(8, 8), params=(), solve_xor=0, shift=2)
+
+    def test_shift_range_checked(self):
+        with pytest.raises(ValueError):
+            ReversibleHash(widths=(8,), params=(), solve_xor=0, shift=8)
+        with pytest.raises(ValueError):
+            ReversibleHash(widths=(8,), params=(), solve_xor=0, shift=0)
+
+    def test_min_width_checked(self):
+        with pytest.raises(ValueError):
+            ReversibleHash(widths=(8, 1), params=(HashParams(0, 1, 0, 1),),
+                           solve_xor=0, shift=1)
+
+    def test_wrong_arity_rejected(self):
+        h = make_paper_f()
+        with pytest.raises(ValueError):
+            h.value(1, 2)
+        with pytest.raises(ValueError):
+            h.solve(0, 1)
+
+    def test_target_out_of_range_rejected(self):
+        h = make_paper_f()
+        with pytest.raises(ValueError):
+            h.solve(h.n_values, 1, 2)
+        with pytest.raises(ValueError):
+            h.solve(-1, 1, 2)
+
+
+class TestInverse:
+    """The paper's core claim: f(x, y, f_z^{-1}(V, x, y)) = V."""
+
+    def test_solve_roundtrip_smoke(self):
+        h = make_paper_f()
+        z = h.solve(12345, 0xDEADBEEF, 0xCAFEBABE)
+        assert h.value(0xDEADBEEF, 0xCAFEBABE, z) == 12345
+
+    @settings(max_examples=300, deadline=None)
+    @given(
+        seed=st.integers(0, 1000),
+        target=st.integers(0, (1 << 24) - 1),
+        x=st.integers(0, (1 << 32) - 1),
+        y=st.integers(0, (1 << 32) - 1),
+    )
+    def test_solve_roundtrip_property(self, seed, target, x, y):
+        h = make_paper_f(seed)
+        z = h.solve(target, x, y)
+        assert 0 <= z < (1 << 32)
+        assert h.value(x, y, z) == target
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        seed=st.integers(0, 1000),
+        target=st.integers(0, (1 << 10) - 1),
+        a=st.integers(0, (1 << 32) - 1),
+        b=st.integers(0, (1 << 32) - 1),
+        g=st.integers(0, (1 << 16) - 1),
+    )
+    def test_four_variable_F_roundtrip(self, seed, target, a, b, g):
+        """The paper's F(α, β, γ, δ) with heterogeneous widths."""
+        h = ReversibleHash.random(
+            random.Random(seed), widths=(32, 32, 16, 16), shift=6
+        )
+        assert h.value_bits == 10
+        d = h.solve(target, a, b, g)
+        assert h.value(a, b, g, d) == target
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        seed=st.integers(0, 1000),
+        target=st.integers(0, (1 << 6) - 1),
+        x1=st.integers(0, 255),
+    )
+    def test_two_variable_h_roundtrip(self, seed, target, x1):
+        """The split hash h(x1, x2) that realizes the paper's g(x)."""
+        h = ReversibleHash.random(random.Random(seed), widths=(8, 8), shift=2)
+        x2 = h.solve(target, x1)
+        assert h.value(x1, x2) == target
+
+    def test_single_variable_hash(self):
+        h = ReversibleHash(widths=(16,), params=(), solve_xor=0xABCD, shift=4)
+        for target in (0, 1, 500, (1 << 12) - 1):
+            z = h.solve(target)
+            assert h.value(z) == target
+
+
+class TestDisjointness:
+    """Tuples solved for different targets can never collide — the property
+    the collision-avoidance mechanism rests on (paper Fig 4)."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        seed=st.integers(0, 200),
+        t1=st.integers(0, (1 << 24) - 1),
+        t2=st.integers(0, (1 << 24) - 1),
+        x1=st.integers(0, (1 << 32) - 1),
+        y1=st.integers(0, (1 << 32) - 1),
+        x2=st.integers(0, (1 << 32) - 1),
+        y2=st.integers(0, (1 << 32) - 1),
+    )
+    def test_different_targets_different_tuples(self, seed, t1, t2, x1, y1, x2, y2):
+        if t1 == t2:
+            return
+        h = make_paper_f(seed)
+        tup1 = (x1, y1, h.solve(t1, x1, y1))
+        tup2 = (x2, y2, h.solve(t2, x2, y2))
+        assert tup1 != tup2
+
+    def test_value_partitions_tuple_space(self):
+        """Exhaustive check on a small instance: classes are disjoint and
+        cover everything."""
+        h = ReversibleHash.random(random.Random(7), widths=(4, 4), shift=1)
+        buckets = {}
+        for x in range(16):
+            for z in range(16):
+                buckets.setdefault(h.value(x, z), set()).add((x, z))
+        assert sum(len(b) for b in buckets.values()) == 256
+        all_tuples = set().union(*buckets.values())
+        assert len(all_tuples) == 256  # pairwise disjoint
+
+    def test_solutions_per_class_uniform(self):
+        """For each (x, target) there are exactly 2^shift solutions z, i.e.
+        classes are balanced (many draws available per m-flow)."""
+        h = ReversibleHash.random(random.Random(3), widths=(6, 6), shift=2)
+        x = 13
+        counts = {}
+        for z in range(64):
+            counts[h.value(x, z)] = counts.get(h.value(x, z), 0) + 1
+        assert all(c == 4 for c in counts.values())
+
+
+class TestIndependence:
+    def test_different_seeds_give_different_functions(self):
+        h1, h2 = make_paper_f(1), make_paper_f(2)
+        # Same tuple should (overwhelmingly) hash differently.
+        diffs = sum(
+            h1.value(x, x * 7, x * 13) != h2.value(x, x * 7, x * 13)
+            for x in range(100)
+        )
+        assert diffs > 90
+
+    def test_same_seed_reproducible(self):
+        assert make_paper_f(5) == make_paper_f(5)

@@ -1,0 +1,119 @@
+"""Unit and property tests for multiflow slicing/reassembly."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.multiflow import (
+    CHUNK_HEADER,
+    Reassembler,
+    Slicer,
+    decode_header,
+    encode_chunk,
+)
+
+
+class TestEncoding:
+    def test_header_roundtrip(self):
+        wire = encode_chunk(0xDEAD, 42, b"abc")
+        token, seq, length = decode_header(wire)
+        assert (token, seq, length) == (0xDEAD, 42, 3)
+        assert wire[CHUNK_HEADER.size :] == b"abc"
+
+    def test_oversized_chunk_rejected(self):
+        with pytest.raises(ValueError):
+            encode_chunk(1, 0, b"x" * 70000)
+
+
+class TestSlicer:
+    def test_single_flow_deterministic_chunks(self):
+        s = Slicer(token=1, n_flows=1, rng=random.Random(0))
+        chunks = list(s.slice(b"a" * 3000))
+        assert all(flow == 0 for flow, _ in chunks)
+        total = sum(len(w) - CHUNK_HEADER.size for _, w in chunks)
+        assert total == 3000
+
+    def test_multi_flow_spreads(self):
+        s = Slicer(token=1, n_flows=4, rng=random.Random(0))
+        flows = {flow for flow, _ in s.slice(b"a" * 50000)}
+        assert len(flows) == 4
+
+    def test_sequence_monotonic_across_calls(self):
+        s = Slicer(token=1, n_flows=2, rng=random.Random(0))
+        seqs = [decode_header(w)[1] for _, w in s.slice(b"x" * 5000)]
+        seqs += [decode_header(w)[1] for _, w in s.slice(b"y" * 5000)]
+        assert seqs == list(range(len(seqs)))
+
+    def test_zero_flows_rejected(self):
+        with pytest.raises(ValueError):
+            Slicer(1, 0, random.Random(0))
+
+    def test_no_single_flow_sees_everything(self):
+        """The size-hiding property: with 4 flows, no flow carries the full
+        byte count."""
+        s = Slicer(token=1, n_flows=4, rng=random.Random(7))
+        per_flow = {}
+        for flow, wire in s.slice(b"z" * 100_000):
+            per_flow[flow] = per_flow.get(flow, 0) + len(wire) - CHUNK_HEADER.size
+        assert all(v < 100_000 for v in per_flow.values())
+        assert sum(per_flow.values()) == 100_000
+
+
+class TestReassembler:
+    def test_in_order(self):
+        r = Reassembler(token=1)
+        r.push(1, 0, b"ab")
+        r.push(1, 1, b"cd")
+        assert r.take() == b"abcd"
+
+    def test_out_of_order(self):
+        r = Reassembler(token=1)
+        r.push(1, 2, b"ef")
+        r.push(1, 0, b"ab")
+        assert r.take() == b"ab"
+        r.push(1, 1, b"cd")
+        assert r.take() == b"cdef"
+
+    def test_duplicates_ignored(self):
+        r = Reassembler(token=1)
+        r.push(1, 0, b"ab")
+        r.push(1, 0, b"XX")
+        assert r.take() == b"ab"
+        r.push(1, 0, b"YY")  # already consumed
+        assert r.take() == b""
+
+    def test_wrong_token_rejected(self):
+        r = Reassembler(token=1)
+        with pytest.raises(ValueError):
+            r.push(2, 0, b"x")
+
+    def test_token_learned_from_first_chunk(self):
+        r = Reassembler()
+        r.push(9, 0, b"x")
+        assert r.token == 9
+
+    def test_take_partial(self):
+        r = Reassembler(token=1)
+        r.push(1, 0, b"abcdef")
+        assert r.take(2) == b"ab"
+        assert r.available == 4
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        data=st.binary(min_size=1, max_size=20000),
+        n_flows=st.integers(1, 6),
+        seed=st.integers(0, 1000),
+    )
+    def test_slice_shuffle_reassemble_roundtrip(self, data, n_flows, seed):
+        """Core invariant: any arrival order reproduces the byte stream."""
+        rng = random.Random(seed)
+        s = Slicer(token=5, n_flows=n_flows, rng=rng)
+        wires = [w for _, w in s.slice(data)]
+        rng.shuffle(wires)
+        r = Reassembler(token=5)
+        for w in wires:
+            token, seq, length = decode_header(w)
+            r.push(token, seq, w[CHUNK_HEADER.size :])
+        assert r.take() == data
+        assert r.pending_chunks == 0

@@ -1,0 +1,56 @@
+"""Unit tests for the crypto timing model."""
+
+import pytest
+
+from repro.crypto import DEFAULT_COSTS, CryptoCostModel
+
+
+def test_aes_scales_linearly_with_bytes():
+    m = CryptoCostModel()
+    c1 = m.aes(1000)
+    c2 = m.aes(2000)
+    assert c2 - c1 == pytest.approx(1000 * m.aes_per_byte_s)
+
+
+def test_aes_has_per_op_overhead():
+    m = CryptoCostModel()
+    assert m.aes(0) == pytest.approx(m.aes_op_overhead_s)
+
+
+def test_aes_rejects_negative():
+    with pytest.raises(ValueError):
+        DEFAULT_COSTS.aes(-1)
+
+
+def test_onion_layers_multiplies():
+    m = CryptoCostModel()
+    assert m.onion_layers(100, 3) == pytest.approx(3 * m.aes(100))
+    assert m.onion_layers(100, 0) == 0.0
+    with pytest.raises(ValueError):
+        m.onion_layers(100, -1)
+
+
+def test_rsa_dominates_tls_server_handshake():
+    m = CryptoCostModel()
+    assert m.tls_handshake_cpu_s() > m.rsa_private_op_s
+    assert m.tls_handshake_cpu_s() > 10 * m.tls_client_handshake_cpu_s()
+
+
+def test_tor_extend_is_expensive():
+    m = CryptoCostModel()
+    # One circuit extension costs the relay around a millisecond or more —
+    # the source of Tor's setup-time growth in Fig 7.
+    assert m.tor_circuit_extend_cpu_s() >= 1e-3
+
+
+def test_aes_throughput_is_inverse_of_per_byte_cost():
+    m = CryptoCostModel(aes_per_byte_s=2e-9)
+    assert m.aes_throughput_Bps() == pytest.approx(5e8)
+
+
+def test_calibration_orders_of_magnitude():
+    """Sanity: the defaults sit in realistic 2015-Xeon ranges."""
+    m = DEFAULT_COSTS
+    assert 1e8 < m.aes_throughput_Bps() < 5e9  # 100 MB/s .. 5 GB/s
+    assert 1e-4 < m.rsa_private_op_s < 1e-2
+    assert m.rsa_public_op_s < m.rsa_private_op_s / 10

@@ -1,0 +1,65 @@
+"""Unit tests for the functional crypto primitives."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto import Key, KeyExchange, Sealed, WrongKeyError, seal, unseal
+
+
+def test_seal_unseal_roundtrip():
+    k = Key()
+    assert unseal(k, seal(k, "secret")) == "secret"
+
+
+def test_wrong_key_rejected():
+    k1, k2 = Key(), Key()
+    with pytest.raises(WrongKeyError):
+        unseal(k2, seal(k1, "secret"))
+
+
+def test_unseal_plain_object_rejected():
+    with pytest.raises(WrongKeyError):
+        unseal(Key(), "not-sealed")
+
+
+def test_onion_layering_order():
+    k1, k2, k3 = Key(), Key(), Key()
+    onion = seal(k1, seal(k2, seal(k3, "core")))
+    assert onion.layers == 3
+    assert unseal(k3, unseal(k2, unseal(k1, onion))) == "core"
+    # Peeling out of order fails.
+    with pytest.raises(WrongKeyError):
+        unseal(k2, onion)
+
+
+def test_keys_are_unique():
+    assert Key() != Key()
+
+
+def test_derive_is_deterministic():
+    assert Key.derive("a", 1) == Key.derive("a", 1)
+    assert Key.derive("a", 1) != Key.derive("a", 2)
+
+
+def test_key_exchange_agrees():
+    a = KeyExchange.initiate("alice", "bob", nonce=7)
+    b = KeyExchange.respond("alice", "bob", nonce=7)
+    assert a == b
+
+
+def test_key_exchange_differs_across_sessions():
+    assert KeyExchange.initiate("alice", "bob", 1) != KeyExchange.initiate(
+        "alice", "bob", 2
+    )
+
+
+@given(st.integers(min_value=1, max_value=8))
+def test_layers_count_matches_wrapping(n):
+    keys = [Key() for _ in range(n)]
+    obj = "payload"
+    for k in keys:
+        obj = seal(k, obj)
+    assert isinstance(obj, Sealed) and obj.layers == n
+    for k in reversed(keys):
+        obj = unseal(k, obj)
+    assert obj == "payload"

@@ -1,0 +1,155 @@
+"""Unit and property tests for the max-min fair fluid solver."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net import FluidFlow, max_min_fair
+
+
+def test_single_flow_gets_full_link():
+    alloc = max_min_fair([FluidFlow("f", ["l1"])], {"l1": 100.0})
+    assert alloc.rate("f") == pytest.approx(100.0)
+
+
+def test_two_flows_share_equally():
+    alloc = max_min_fair(
+        [FluidFlow("a", ["l1"]), FluidFlow("b", ["l1"])], {"l1": 100.0}
+    )
+    assert alloc.rate("a") == pytest.approx(50.0)
+    assert alloc.rate("b") == pytest.approx(50.0)
+
+
+def test_classic_maxmin_example():
+    """Textbook parking-lot: one long flow vs. two short flows.
+
+    Links A (cap 10) and B (cap 5); f1 uses A+B, f2 uses A, f3 uses B.
+    Max-min: f1=2.5, f3=2.5 (B saturates), then f2 fills A to 7.5.
+    """
+    alloc = max_min_fair(
+        [
+            FluidFlow("f1", ["A", "B"]),
+            FluidFlow("f2", ["A"]),
+            FluidFlow("f3", ["B"]),
+        ],
+        {"A": 10.0, "B": 5.0},
+    )
+    assert alloc.rate("f1") == pytest.approx(2.5)
+    assert alloc.rate("f3") == pytest.approx(2.5)
+    assert alloc.rate("f2") == pytest.approx(7.5)
+
+
+def test_rate_cap_respected():
+    alloc = max_min_fair(
+        [FluidFlow("a", ["l1"], rate_cap_bps=10.0), FluidFlow("b", ["l1"])],
+        {"l1": 100.0},
+    )
+    assert alloc.rate("a") == pytest.approx(10.0)
+    assert alloc.rate("b") == pytest.approx(90.0)
+
+
+def test_cap_below_fair_share_redistributes():
+    alloc = max_min_fair(
+        [
+            FluidFlow("a", ["l1"], rate_cap_bps=5.0),
+            FluidFlow("b", ["l1"]),
+            FluidFlow("c", ["l1"]),
+        ],
+        {"l1": 95.0},
+    )
+    assert alloc.rate("a") == pytest.approx(5.0)
+    assert alloc.rate("b") == pytest.approx(45.0)
+    assert alloc.rate("c") == pytest.approx(45.0)
+
+
+def test_disjoint_flows_independent():
+    alloc = max_min_fair(
+        [FluidFlow("a", ["l1"]), FluidFlow("b", ["l2"])],
+        {"l1": 10.0, "l2": 20.0},
+    )
+    assert alloc.rate("a") == pytest.approx(10.0)
+    assert alloc.rate("b") == pytest.approx(20.0)
+
+
+def test_empty_path_flow_unconstrained():
+    alloc = max_min_fair([FluidFlow("free", [])], {"l1": 1.0})
+    assert alloc.rate("free") == float("inf")
+
+
+def test_unknown_link_rejected():
+    with pytest.raises(KeyError):
+        max_min_fair([FluidFlow("f", ["ghost"])], {"l1": 1.0})
+
+
+def test_duplicate_flow_ids_rejected():
+    with pytest.raises(ValueError):
+        max_min_fair([FluidFlow("f", ["l1"]), FluidFlow("f", ["l1"])], {"l1": 1.0})
+
+
+def test_link_load_and_utilization():
+    alloc = max_min_fair(
+        [FluidFlow("a", ["l1", "l2"]), FluidFlow("b", ["l1"])],
+        {"l1": 10.0, "l2": 100.0},
+    )
+    assert alloc.link_load_bps["l1"] == pytest.approx(10.0)
+    assert alloc.utilization("l1") == pytest.approx(1.0)
+    assert "l1" in alloc.bottlenecked_links()
+    assert "l2" not in alloc.bottlenecked_links()
+
+
+# ---------------------------------------------------------------------------
+# Property tests: feasibility + max-min fairness on random instances.
+# ---------------------------------------------------------------------------
+
+@st.composite
+def random_instance(draw):
+    n_links = draw(st.integers(min_value=1, max_value=6))
+    links = {f"l{i}": draw(st.floats(min_value=1.0, max_value=1000.0)) for i in range(n_links)}
+    n_flows = draw(st.integers(min_value=1, max_value=8))
+    flows = []
+    for i in range(n_flows):
+        path = draw(
+            st.lists(st.sampled_from(sorted(links)), min_size=1, max_size=n_links, unique=True)
+        )
+        cap = draw(st.one_of(st.none(), st.floats(min_value=0.5, max_value=500.0)))
+        flows.append(FluidFlow(f"f{i}", path, rate_cap_bps=cap))
+    return flows, links
+
+
+@settings(max_examples=120, deadline=None)
+@given(random_instance())
+def test_allocation_is_feasible(instance):
+    flows, links = instance
+    alloc = max_min_fair(flows, links)
+    for link, cap in links.items():
+        assert alloc.link_load_bps.get(link, 0.0) <= cap * (1 + 1e-6)
+    for f in flows:
+        if f.rate_cap_bps is not None:
+            assert alloc.rate(f.flow_id) <= f.rate_cap_bps * (1 + 1e-6)
+        assert alloc.rate(f.flow_id) >= 0
+
+
+@settings(max_examples=120, deadline=None)
+@given(random_instance())
+def test_allocation_is_maxmin_fair(instance):
+    """Every flow is either at its cap or crosses a saturated link where it
+    receives at least as much as every other flow on that link (the standard
+    bottleneck characterization of max-min fairness)."""
+    flows, links = instance
+    alloc = max_min_fair(flows, links)
+    loads = alloc.link_load_bps
+    for f in flows:
+        r = alloc.rate(f.flow_id)
+        if f.rate_cap_bps is not None and r >= f.rate_cap_bps * (1 - 1e-6):
+            continue  # capped
+        has_bottleneck = False
+        for link in f.links:
+            saturated = loads.get(link, 0.0) >= links[link] * (1 - 1e-6)
+            if not saturated:
+                continue
+            peers = [
+                alloc.rate(g.flow_id) for g in flows if link in g.links
+            ]
+            if r >= max(peers) * (1 - 1e-6):
+                has_bottleneck = True
+                break
+        assert has_bottleneck, f"flow {f.flow_id} has no bottleneck and no cap"

@@ -1,0 +1,138 @@
+"""Unit tests for node/link internals: CPU meters, backlog math, params."""
+
+import pytest
+
+from repro.net import Network, NetParams, linear
+from repro.net.node import CpuMeter
+
+
+class TestCpuMeter:
+    def test_consume_accumulates(self):
+        m = CpuMeter()
+        m.consume(0.5)
+        m.consume(0.25)
+        assert m.busy_s == 0.75
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CpuMeter().consume(-1)
+
+    def test_utilization_window(self):
+        m = CpuMeter()
+        m.reset(now=10.0)
+        m.consume(2.0)
+        assert m.utilization(now=14.0) == pytest.approx(0.5)
+        assert m.utilization(now=14.0, cores=2) == pytest.approx(0.25)
+
+    def test_utilization_zero_window(self):
+        m = CpuMeter()
+        m.reset(now=5.0)
+        assert m.utilization(now=5.0) == 0.0
+
+    def test_reset_clears(self):
+        m = CpuMeter()
+        m.consume(1.0)
+        m.reset(now=0.0)
+        assert m.busy_s == 0.0
+
+
+class TestChannelBacklog:
+    def test_backlog_tracks_queued_bytes(self):
+        net = Network(linear(1, hosts_per_switch=2))
+        h1 = net.host("h1")
+        ch = h1.ports[0]
+        assert ch.backlog_bytes() == 0
+        pkt = h1.make_packet(net.host("h2").ip, payload_size=10_000)
+        ch.send(pkt)
+        # Transmission of ~10 kB at 1 Gb/s is pending: backlog is positive.
+        assert ch.backlog_bytes() > 0
+        net.run()
+        assert ch.backlog_bytes() == 0
+
+    def test_down_channel_drops(self):
+        net = Network(linear(1, hosts_per_switch=2))
+        h1 = net.host("h1")
+        ch = h1.ports[0]
+        ch.up = False
+        assert not ch.send(h1.make_packet(net.host("h2").ip))
+        assert ch.stats.drops == 1
+
+    def test_in_flight_packet_lost_when_link_dies(self):
+        net = Network(linear(1, hosts_per_switch=2))
+        h1 = net.host("h1")
+        s1 = net.switch("s1")
+        seen = []
+        s1.add_mirror_tap(lambda p, port, d: seen.append(p.uid))
+        ch = h1.ports[0]
+        ch.send(h1.make_packet(net.host("h2").ip, payload_size=100))
+        net.link_between("h1", "s1").set_up(False)
+        net.run()
+        assert seen == []  # delivery suppressed mid-flight
+
+    def test_transmit_unknown_port_rejected(self):
+        net = Network(linear(1, hosts_per_switch=2))
+        h1 = net.host("h1")
+        with pytest.raises(ValueError):
+            h1.transmit(h1.make_packet(net.host("h2").ip), port=9)
+
+
+class TestParams:
+    def test_tx_time(self):
+        p = NetParams(link_bandwidth_bps=1e9)
+        assert p.tx_time(125) == pytest.approx(1e-6)
+
+    def test_frozen(self):
+        p = NetParams()
+        with pytest.raises(Exception):
+            p.link_delay_s = 1.0
+
+    def test_overrides_flow_through_network(self):
+        params = NetParams(link_bandwidth_bps=5e8, link_delay_s=1e-3)
+        net = Network(linear(1, hosts_per_switch=2), params=params)
+        ch = net.host("h1").ports[0]
+        assert ch.bandwidth_bps == 5e8
+        assert ch.delay_s == 1e-3
+
+    def test_per_edge_overrides(self):
+        from repro.net.topology import Topology
+
+        topo = Topology("t")
+        topo.add_switch("s1")
+        topo.add_host("h1")
+        topo.add_host("h2")
+        topo.graph.add_edge("h1", "s1", bandwidth_bps=1e7)
+        topo.graph.add_edge("h2", "s1")
+        net = Network(topo)
+        slow = net.host("h1").ports[0]
+        fast = net.host("h2").ports[0]
+        assert slow.bandwidth_bps == 1e7
+        assert fast.bandwidth_bps == net.params.link_bandwidth_bps
+
+
+class TestHostBindings:
+    def test_double_bind_rejected(self):
+        net = Network(linear(1, hosts_per_switch=2))
+        h1 = net.host("h1")
+        h1.bind("tcp", 80, lambda h, p: None)
+        with pytest.raises(ValueError):
+            h1.bind("tcp", 80, lambda h, p: None)
+
+    def test_ephemeral_ports_unique_until_wrap(self):
+        net = Network(linear(1, hosts_per_switch=2))
+        h1 = net.host("h1")
+        seen = {h1.ephemeral_port() for _ in range(1000)}
+        assert len(seen) == 1000
+
+    def test_default_handler_catches_unbound(self):
+        from repro.net import FlowEntry, Match, Output
+
+        net = Network(linear(1, hosts_per_switch=2))
+        h1, h2 = net.host("h1"), net.host("h2")
+        fallback = []
+        h2.default_handler = lambda h, p: fallback.append(p.dport)
+        net.switch("s1").table.install(
+            FlowEntry(Match(), [Output(net.port("s1", "h2"))])
+        )
+        h1.send_packet(h1.make_packet(h2.ip, dport=4242))
+        net.run()
+        assert fallback == [4242]

@@ -1,0 +1,88 @@
+"""Unit tests for the packet model."""
+
+import pytest
+
+from repro.net import Packet, ip, mac
+from repro.net.packet import ETH_HEADER, IP_HEADER, MPLS_SHIM, TCP_HEADER, UDP_HEADER
+
+
+def make(**kw):
+    base = dict(
+        eth_src=mac(1),
+        eth_dst=mac(2),
+        ip_src=ip("10.0.0.1"),
+        ip_dst=ip("10.0.0.2"),
+        sport=1000,
+        dport=80,
+        payload_size=100,
+    )
+    base.update(kw)
+    return Packet(**base)
+
+
+def test_size_tcp_no_mpls():
+    p = make()
+    assert p.size == ETH_HEADER + IP_HEADER + TCP_HEADER + 100
+
+
+def test_size_udp():
+    p = make(proto="udp")
+    assert p.size == ETH_HEADER + IP_HEADER + UDP_HEADER + 100
+
+
+def test_size_with_mpls_shim():
+    p = make(mpls=42)
+    assert p.size == ETH_HEADER + MPLS_SHIM + IP_HEADER + TCP_HEADER + 100
+
+
+def test_uids_unique():
+    assert make().uid != make().uid
+
+
+def test_copy_fresh_uid_same_content_tag():
+    p = make()
+    c = p.copy()
+    assert c.uid != p.uid
+    assert c.content_tag == p.content_tag
+    assert c.ip_src == p.ip_src
+
+
+def test_copy_is_independent():
+    p = make()
+    c = p.copy()
+    c.ip_src = ip("99.0.0.1")
+    assert p.ip_src == ip("10.0.0.1")
+
+
+def test_match_tuple_and_five_tuple():
+    p = make(mpls=7)
+    assert p.match_tuple() == (ip("10.0.0.1"), ip("10.0.0.2"), 7)
+    assert p.five_tuple() == (ip("10.0.0.1"), ip("10.0.0.2"), "tcp", 1000, 80)
+
+
+@pytest.mark.parametrize(
+    "kw",
+    [
+        dict(sport=-1),
+        dict(dport=70000),
+        dict(proto="icmp"),
+        dict(payload_size=-5),
+        dict(mpls=-3),
+        dict(mpls=1 << 32),
+    ],
+)
+def test_validation_rejects_bad_fields(kw):
+    with pytest.raises(ValueError):
+        make(**kw)
+
+
+def test_header_fields_mutable():
+    p = make()
+    p.ip_src = ip("10.0.0.9")
+    p.mpls = 5
+    assert p.match_tuple() == (ip("10.0.0.9"), ip("10.0.0.2"), 5)
+
+
+def test_summary_contains_addresses():
+    s = make(mpls=3).summary()
+    assert "10.0.0.1" in s and "10.0.0.2" in s and "mpls=3" in s

@@ -1,0 +1,108 @@
+"""Property tests for the DES kernel's scheduling guarantees."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Simulator
+
+
+@settings(max_examples=100, deadline=None)
+@given(delays=st.lists(st.floats(min_value=0, max_value=100), min_size=1,
+                       max_size=40))
+def test_callbacks_fire_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for d in delays:
+        sim.call_later(d, lambda d=d: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+    assert sim.now == max(delays)
+
+
+@settings(max_examples=100, deadline=None)
+@given(delays=st.lists(st.floats(min_value=0, max_value=10), min_size=1,
+                       max_size=30),
+       seed=st.integers(0, 1000))
+def test_equal_times_preserve_scheduling_order(delays, seed):
+    """Ties break FIFO: events scheduled first fire first."""
+    sim = Simulator(seed=seed)
+    order = []
+    for i, d in enumerate(delays):
+        sim.call_later(round(d, 1), lambda i=i: order.append(i))
+    sim.run()
+    # Per unique time, indexes must appear in scheduling order.
+    by_time: dict[float, list[int]] = {}
+    for i, d in enumerate(delays):
+        by_time.setdefault(round(d, 1), []).append(i)
+    pos = {i: p for p, i in enumerate(order)}
+    for group in by_time.values():
+        positions = [pos[i] for i in group]
+        assert positions == sorted(positions)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n_procs=st.integers(1, 12),
+    steps=st.integers(1, 8),
+    unit=st.floats(min_value=0.001, max_value=1.0),
+)
+def test_processes_complete_and_clock_matches(n_procs, steps, unit):
+    sim = Simulator()
+    finished = []
+
+    def worker(tag):
+        for _ in range(steps):
+            yield sim.timeout(unit)
+        finished.append(tag)
+
+    procs = [sim.process(worker(i)) for i in range(n_procs)]
+    sim.run()
+    assert sorted(finished) == list(range(n_procs))
+    assert all(p.processed for p in procs)
+    assert sim.now >= steps * unit * 0.999
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    values=st.lists(st.integers(), min_size=1, max_size=20),
+)
+def test_store_is_fifo_for_any_sequence(values):
+    from repro.sim import Store
+
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer():
+        for _ in values:
+            v = yield store.get()
+            got.append(v)
+
+    sim.process(consumer())
+    for i, v in enumerate(values):
+        sim.call_later(i * 0.01, lambda v=v: store.put(v))
+    sim.run()
+    assert got == values
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_identical_seeds_identical_runs(seed):
+    """Full determinism: two simulations with the same seed and program
+    produce identical event timelines."""
+
+    def run_once():
+        sim = Simulator(seed=seed)
+        rng = sim.rng("x")
+        log = []
+
+        def worker():
+            for _ in range(10):
+                yield sim.timeout(rng.random())
+                log.append(round(sim.now, 12))
+
+        sim.process(worker())
+        sim.run()
+        return log
+
+    assert run_once() == run_once()

@@ -1,0 +1,148 @@
+"""Unit tests for Store and Resource primitives."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator, Store, Resource
+
+
+def test_store_put_then_get():
+    sim = Simulator()
+    store = Store(sim)
+    store.put("a")
+    got = []
+
+    def getter():
+        v = yield store.get()
+        got.append(v)
+
+    sim.process(getter())
+    sim.run()
+    assert got == ["a"]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def getter():
+        v = yield store.get()
+        got.append((sim.now, v))
+
+    sim.process(getter())
+    sim.call_later(3.0, lambda: store.put("late"))
+    sim.run()
+    assert got == [(3.0, "late")]
+
+
+def test_store_fifo_order_items_and_waiters():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def getter(tag):
+        v = yield store.get()
+        got.append((tag, v))
+
+    sim.process(getter("g1"))
+    sim.process(getter("g2"))
+    sim.call_later(1.0, lambda: store.put("first"))
+    sim.call_later(1.0, lambda: store.put("second"))
+    sim.run()
+    assert got == [("g1", "first"), ("g2", "second")]
+
+
+def test_store_capacity_try_put():
+    sim = Simulator()
+    store = Store(sim, capacity=2)
+    assert store.try_put(1)
+    assert store.try_put(2)
+    assert not store.try_put(3)  # dropped
+    assert len(store) == 2
+    with pytest.raises(SimulationError):
+        store.put(4)
+
+
+def test_store_peek_all_does_not_consume():
+    sim = Simulator()
+    store = Store(sim)
+    store.put("x")
+    store.put("y")
+    assert store.peek_all() == ["x", "y"]
+    assert len(store) == 2
+
+
+def test_resource_serializes_access():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    timeline = []
+
+    def user(tag, hold):
+        yield res.request()
+        timeline.append((sim.now, tag, "in"))
+        yield sim.timeout(hold)
+        timeline.append((sim.now, tag, "out"))
+        res.release()
+
+    sim.process(user("a", 2.0))
+    sim.process(user("b", 1.0))
+    sim.run()
+    assert timeline == [
+        (0.0, "a", "in"),
+        (2.0, "a", "out"),
+        (2.0, "b", "in"),
+        (3.0, "b", "out"),
+    ]
+
+
+def test_resource_capacity_two_runs_concurrently():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    done = []
+
+    def user(tag):
+        yield res.request()
+        yield sim.timeout(1.0)
+        res.release()
+        done.append((sim.now, tag))
+
+    for t in "abc":
+        sim.process(user(t))
+    sim.run()
+    # a and b run together, c waits for a slot.
+    assert done == [(1.0, "a"), (1.0, "b"), (2.0, "c")]
+
+
+def test_resource_release_without_request():
+    sim = Simulator()
+    res = Resource(sim)
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_resource_bad_capacity():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Resource(sim, capacity=0)
+
+
+def test_resource_counters():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def holder():
+        yield res.request()
+        yield sim.timeout(5.0)
+        res.release()
+
+    def waiter():
+        yield res.request()
+        res.release()
+
+    sim.process(holder())
+    sim.process(waiter())
+    sim.run(until=1.0)
+    assert res.in_use == 1
+    assert res.queued == 1
+    sim.run()
+    assert res.in_use == 0 and res.queued == 0

@@ -1,0 +1,53 @@
+"""Unit tests for the trace log."""
+
+from repro.sim import TraceLog
+
+
+def test_emit_and_len():
+    log = TraceLog()
+    log.emit(1.0, "pkt", "s1", size=100)
+    log.emit(2.0, "pkt", "s2", size=200)
+    assert len(log) == 2
+
+
+def test_category_filter_drops_unlisted():
+    log = TraceLog(categories={"pkt"})
+    log.emit(1.0, "pkt", "s1")
+    log.emit(1.0, "cpu", "s1")
+    assert len(log) == 1
+    assert log.records[0].category == "pkt"
+    assert log.enabled("pkt") and not log.enabled("cpu")
+
+
+def test_by_category_and_by_node():
+    log = TraceLog()
+    log.emit(1.0, "pkt", "s1", seq=1)
+    log.emit(2.0, "pkt", "s2", seq=2)
+    log.emit(3.0, "cpu", "s1", seq=3)
+    assert [r["seq"] for r in log.by_category("pkt")] == [1, 2]
+    assert [r["seq"] for r in log.by_node("s1")] == [1, 3]
+
+
+def test_select_matches_detail():
+    log = TraceLog()
+    log.emit(1.0, "pkt", "s1", flow="f1", size=10)
+    log.emit(2.0, "pkt", "s1", flow="f2", size=10)
+    assert [r["size"] for r in log.select(flow="f1")] == [10]
+    assert list(log.select(flow="f3")) == []
+
+
+def test_subscriber_sees_kept_records_only():
+    log = TraceLog(categories={"pkt"})
+    seen = []
+    log.subscribe(seen.append)
+    log.emit(1.0, "pkt", "s1")
+    log.emit(1.0, "cpu", "s1")
+    assert len(seen) == 1 and seen[0].category == "pkt"
+
+
+def test_record_getitem_and_clear():
+    log = TraceLog()
+    log.emit(1.0, "pkt", "s1", size=64)
+    assert log.records[0]["size"] == 64
+    log.clear()
+    assert len(log) == 0

@@ -1,0 +1,71 @@
+"""Meta-test: every public item in the library is documented.
+
+Deliverable discipline — the public API must carry doc comments.  Walks all
+``repro`` modules and asserts docstrings on modules, public classes, public
+functions and public methods.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+SKIP_METHOD_NAMES = {
+    # dunder/boilerplate that inherits documented semantics
+    "__init__", "__repr__", "__str__", "__len__", "__iter__", "__contains__",
+    "__getitem__", "__int__", "__lt__", "__add__", "__post_init__", "__eq__",
+    "__hash__", "__call__",
+}
+
+
+def iter_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name.endswith("__main__"):
+            continue
+        yield importlib.import_module(info.name)
+
+
+def public_members(module):
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-export; documented at home
+        yield name, obj
+
+
+@pytest.mark.parametrize("module", list(iter_modules()),
+                         ids=lambda m: m.__name__)
+def test_module_documented(module):
+    assert module.__doc__, f"{module.__name__} lacks a module docstring"
+
+
+@pytest.mark.parametrize("module", list(iter_modules()),
+                         ids=lambda m: m.__name__)
+def test_public_items_documented(module):
+    undocumented = []
+    for name, obj in public_members(module):
+        if inspect.isclass(obj):
+            if not obj.__doc__:
+                undocumented.append(f"class {name}")
+            for mname, member in vars(obj).items():
+                if mname.startswith("_") or mname in SKIP_METHOD_NAMES:
+                    continue
+                if isinstance(member, property):
+                    target = member.fget
+                elif inspect.isfunction(member):
+                    target = member
+                else:
+                    continue
+                if target is not None and not target.__doc__:
+                    undocumented.append(f"{name}.{mname}")
+        elif inspect.isfunction(obj):
+            if not obj.__doc__:
+                undocumented.append(f"def {name}")
+    assert not undocumented, (
+        f"{module.__name__}: missing docstrings on {', '.join(undocumented)}"
+    )

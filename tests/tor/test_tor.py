@@ -1,0 +1,186 @@
+"""Integration tests for the Tor overlay baseline."""
+
+import pytest
+
+from repro.crypto import DEFAULT_COSTS
+from repro.net import Network, fat_tree
+from repro.sdn import Controller, L3ShortestPathApp
+from repro.tor import TorClient, TorDirectory, TorRelay
+from repro.transport import TcpStack
+
+
+@pytest.fixture()
+def tor_net():
+    net = Network(fat_tree(4))
+    ctrl = Controller(net)
+    app = ctrl.register(L3ShortestPathApp())
+    app.wire_all_pairs()
+    net.run()  # all routes pre-installed
+    directory = TorDirectory()
+    relays = [TorRelay(net.host(f"h{i}"), directory) for i in range(5, 12)]
+    return net, directory, relays
+
+
+def start_echo_server(net, host_name, port=80):
+    stack = TcpStack(net.host(host_name))
+    listener = stack.listen(port)
+
+    def srv():
+        while True:
+            conn = yield listener.accept()
+
+            def serve(c):
+                while True:
+                    data = yield c.recv(4096)
+                    if not data:
+                        return
+                    c.send(data)
+
+            net.sim.process(serve(conn))
+
+    net.sim.process(srv())
+    return stack
+
+
+def test_directory_registration(tor_net):
+    net, directory, relays = tor_net
+    assert len(directory.relays()) == 7
+    route = directory.pick_route(3, net.sim.rng("t"), exclude_hosts=["h5"])
+    assert len(route) == 3
+    assert all(directory.get(r).host_name != "h5" for r in route)
+
+
+def test_directory_insufficient_relays(tor_net):
+    net, directory, _ = tor_net
+    with pytest.raises(ValueError):
+        directory.pick_route(20, net.sim.rng("t"))
+
+
+def test_circuit_build_collects_keys(tor_net):
+    net, directory, relays = tor_net
+    client = TorClient(net.host("h1"), directory)
+    result = {}
+
+    def run():
+        circuit = yield from client.build_circuit(length=3)
+        result["circuit"] = circuit
+
+    net.sim.process(run())
+    net.run(until=10.0)
+    circuit = result["circuit"]
+    assert circuit.length == 3
+    assert len(set(circuit.route)) == 3
+    assert len({k.key_id for k in circuit.keys}) == 3
+
+
+def test_relay_burns_create_cpu(tor_net):
+    net, directory, relays = tor_net
+    client = TorClient(net.host("h1"), directory)
+    route = [relays[0].name, relays[1].name, relays[2].name]
+
+    def run():
+        yield from client.build_circuit(route=route)
+
+    net.sim.process(run())
+    net.run(until=10.0)
+    for r in relays[:3]:
+        assert r.circuits_created == 1
+        assert r.host.cpu.busy_s >= DEFAULT_COSTS.tor_circuit_extend_cpu_s()
+
+
+def test_echo_roundtrip_through_circuit(tor_net):
+    net, directory, relays = tor_net
+    start_echo_server(net, "h16", 80)
+    client = TorClient(net.host("h1"), directory)
+    result = {}
+
+    def run():
+        stream = yield from client.connect(net.host("h16").ip, 80, length=3)
+        yield from stream.send(b"0123456789")
+        result["reply"] = yield from stream.recv_exactly(10)
+
+    net.sim.process(run())
+    net.run(until=10.0)
+    assert result["reply"] == b"0123456789"
+
+
+def test_large_transfer_through_circuit(tor_net):
+    net, directory, relays = tor_net
+    start_echo_server(net, "h16", 80)
+    client = TorClient(net.host("h1"), directory)
+    payload = bytes(range(251)) * 41  # ~10 KiB, spans many cells
+    result = {}
+
+    def run():
+        stream = yield from client.connect(net.host("h16").ip, 80, length=3)
+        yield from stream.send(payload)
+        result["reply"] = yield from stream.recv_exactly(len(payload))
+
+    net.sim.process(run())
+    net.run(until=30.0)
+    assert result["reply"] == payload
+
+
+def test_exit_sees_exit_ip_not_client(tor_net):
+    """The target server must see the exit relay's address — that is the
+    anonymity property Tor provides."""
+    net, directory, relays = tor_net
+    stack = TcpStack(net.host("h16"))
+    listener = stack.listen(80)
+    seen = {}
+
+    def srv():
+        conn = yield listener.accept()
+        seen["remote_ip"] = conn.remote_ip
+        data = yield from conn.recv_exactly(4)
+        conn.send(data)
+
+    net.sim.process(srv())
+    client = TorClient(net.host("h1"), directory)
+    route = [relays[0].name, relays[1].name, relays[2].name]
+
+    def run():
+        stream = yield from client.connect(net.host("h16").ip, 80, route=route)
+        yield from stream.send(b"ping")
+        yield from stream.recv_exactly(4)
+
+    net.sim.process(run())
+    net.run(until=10.0)
+    assert seen["remote_ip"] == relays[2].host.ip
+    assert seen["remote_ip"] != net.host("h1").ip
+
+
+def test_setup_time_grows_with_route_length(tor_net):
+    """Fig 7's Tor curve: telescoping setup is ~linear in route length."""
+    net, directory, relays = tor_net
+    client = TorClient(net.host("h1"), directory)
+    times = {}
+
+    def run():
+        for n in (1, 3, 5):
+            t0 = net.sim.now
+            yield from client.build_circuit(length=n)
+            times[n] = net.sim.now - t0
+
+    net.sim.process(run())
+    net.run(until=60.0)
+    assert times[1] < times[3] < times[5]
+    # Roughly linear: 5 hops should cost clearly more than 2x the 1-hop time.
+    assert times[5] > times[1] * 2.5
+
+
+def test_relay_counts_cells(tor_net):
+    net, directory, relays = tor_net
+    start_echo_server(net, "h16", 80)
+    client = TorClient(net.host("h1"), directory)
+    route = [relays[0].name, relays[1].name, relays[2].name]
+
+    def run():
+        stream = yield from client.connect(net.host("h16").ip, 80, route=route)
+        yield from stream.send(b"data!")
+        yield from stream.recv_exactly(5)
+
+    net.sim.process(run())
+    net.run(until=10.0)
+    for r in relays[:3]:
+        assert r.cells_relayed > 0

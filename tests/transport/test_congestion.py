@@ -1,0 +1,125 @@
+"""Tests for the optional TCP congestion control."""
+
+import pytest
+
+from repro.net import Network, NetParams, linear
+from repro.sdn import Controller, L3ShortestPathApp
+from repro.transport import MSS, TcpSegment, TcpStack
+from repro.transport.tcp import DEFAULT_WINDOW, RTO_S, TcpConnection
+
+
+def make_conn(cc=True):
+    net = Network(linear(1, hosts_per_switch=2))
+    Controller(net).register(L3ShortestPathApp())
+    stack = TcpStack(net.host("h1"), congestion_control=cc)
+    conn = TcpConnection(stack, 1000, net.host("h2").ip, 80,
+                         congestion_control=cc)
+    conn.state = "established"
+    return net, conn
+
+
+class TestSlowStart:
+    def test_initial_window_rfc6928(self):
+        _net, conn = make_conn()
+        assert conn.cwnd == 10 * MSS
+        assert conn.effective_window == 10 * MSS
+
+    def test_cwnd_grows_per_ack(self):
+        _net, conn = make_conn()
+        conn.send(b"x" * (20 * MSS))
+        before = conn.cwnd
+        conn.handle_segment(TcpSegment("ack", ack=MSS))
+        conn.handle_segment(TcpSegment("ack", ack=2 * MSS))
+        assert conn.cwnd == before + 2 * MSS  # slow start: +MSS per new ACK
+
+    def test_congestion_avoidance_above_ssthresh(self):
+        _net, conn = make_conn()
+        conn.ssthresh = 5 * MSS
+        conn.cwnd = 10 * MSS
+        conn.send(b"x" * (20 * MSS))
+        conn.handle_segment(TcpSegment("ack", ack=MSS))
+        # Additive increase: +MSS^2/cwnd (one tenth of MSS here).
+        assert conn.cwnd == pytest.approx(10 * MSS + MSS / 10)
+
+    def test_effective_window_clamped_by_rwnd(self):
+        _net, conn = make_conn()
+        conn.cwnd = DEFAULT_WINDOW * 10
+        assert conn.effective_window == DEFAULT_WINDOW
+
+
+class TestLossResponse:
+    def test_triple_dupack_fast_retransmit(self):
+        net, conn = make_conn()
+        conn.send(b"x" * (10 * MSS))
+        conn.handle_segment(TcpSegment("ack", ack=MSS))
+        flight = conn._snd_next - conn._snd_base
+        sent_before = conn.host.packets_sent
+        for _ in range(3):
+            conn.handle_segment(TcpSegment("ack", ack=MSS))
+        assert conn.host.packets_sent > sent_before  # retransmitted
+        assert conn.ssthresh == max(flight // 2, 2 * MSS)
+        assert conn.cwnd == conn.ssthresh
+
+    def test_rto_collapses_to_one_mss(self):
+        net, conn = make_conn()
+        conn.send(b"x" * (10 * MSS))
+        net.run(until=RTO_S * 2.5)
+        assert conn.cwnd == MSS
+
+    def test_dupacks_without_outstanding_ignored(self):
+        _net, conn = make_conn()
+        for _ in range(5):
+            conn.handle_segment(TcpSegment("ack", ack=0))
+        assert conn.cwnd == 10 * MSS  # no spurious reaction
+
+
+class TestEndToEnd:
+    def _transfer(self, cc: bool, queue_bytes: int = 8 * MSS) -> bool:
+        net = Network(
+            linear(1, hosts_per_switch=2),
+            params=NetParams(link_queue_bytes=queue_bytes),
+        )
+        Controller(net).register(L3ShortestPathApp())
+        client = TcpStack(net.host("h1"), congestion_control=cc)
+        server = TcpStack(net.host("h2"), congestion_control=cc)
+        listener = server.listen(80)
+        payload = b"q" * (60 * MSS)
+        got = {}
+
+        def srv():
+            conn = yield listener.accept()
+            got["data"] = yield from conn.recv_exactly(len(payload))
+
+        def cli():
+            conn = yield client.connect(server.host.ip, 80)
+            conn.send(payload)
+
+        net.sim.process(srv())
+        net.sim.process(cli())
+        net.run(until=60.0)
+        return got.get("data") == payload
+
+    def test_cc_transfer_completes_through_tiny_queue(self):
+        assert self._transfer(cc=True)
+
+    def test_plain_transfer_also_completes(self):
+        assert self._transfer(cc=False)
+
+    def test_stack_flag_propagates_to_server_conns(self):
+        net = Network(linear(1, hosts_per_switch=2))
+        Controller(net).register(L3ShortestPathApp())
+        client = TcpStack(net.host("h1"), congestion_control=True)
+        server = TcpStack(net.host("h2"), congestion_control=True)
+        listener = server.listen(80)
+        conns = {}
+
+        def srv():
+            conns["server"] = yield listener.accept()
+
+        def cli():
+            conns["client"] = yield client.connect(server.host.ip, 80)
+
+        net.sim.process(srv())
+        net.sim.process(cli())
+        net.run(until=1.0)
+        assert conns["client"].cc_enabled and conns["server"].cc_enabled

@@ -1,0 +1,157 @@
+"""Integration tests for the SSL/TLS layer."""
+
+import pytest
+
+from repro.crypto import DEFAULT_COSTS
+from repro.net import Network, linear
+from repro.sdn import Controller, L3ShortestPathApp
+from repro.transport import SslStack, TcpError, TcpStack
+from repro.transport.ssl import SslConnection
+
+
+def build():
+    net = Network(linear(1, hosts_per_switch=2))
+    ctrl = Controller(net)
+    ctrl.register(L3ShortestPathApp())
+    client = SslStack(TcpStack(net.host("h1")))
+    server = SslStack(TcpStack(net.host("h2")))
+    return net, client, server
+
+
+def test_handshake_completes_both_sides():
+    net, client, server = build()
+    listener = server.tcp.listen(443)
+    done = {}
+
+    def srv():
+        conn = yield from server.accept_on(listener)
+        done["server"] = conn.handshake_done
+
+    def cli():
+        conn = yield from client.connect(server.tcp.host.ip, 443)
+        done["client"] = conn.handshake_done
+
+    net.sim.process(srv())
+    net.sim.process(cli())
+    net.run()
+    assert done == {"server": True, "client": True}
+
+
+def test_encrypted_echo_roundtrip():
+    net, client, server = build()
+    listener = server.tcp.listen(443)
+    result = {}
+
+    def srv():
+        conn = yield from server.accept_on(listener)
+        data = yield from conn.recv_exactly(10)
+        yield from conn.send(data[::-1])
+
+    def cli():
+        conn = yield from client.connect(server.tcp.host.ip, 443)
+        yield from conn.send(b"0123456789")
+        result["reply"] = yield from conn.recv_exactly(10)
+
+    net.sim.process(srv())
+    net.sim.process(cli())
+    net.run()
+    assert result["reply"] == b"9876543210"
+
+
+def test_handshake_burns_server_rsa_cpu():
+    net, client, server = build()
+    listener = server.tcp.listen(443)
+
+    def srv():
+        yield from server.accept_on(listener)
+
+    def cli():
+        yield from client.connect(server.tcp.host.ip, 443)
+
+    net.sim.process(srv())
+    net.sim.process(cli())
+    base_cpu = server.tcp.host.cpu.busy_s
+    net.run()
+    burned = server.tcp.host.cpu.busy_s - base_cpu
+    assert burned >= DEFAULT_COSTS.rsa_private_op_s
+
+
+def test_ssl_connect_slower_than_tcp_connect():
+    """The SSL handshake adds measurable latency over plain TCP — the gap
+    Fig 7 shows between the TCP and SSL baselines."""
+    net = Network(linear(1, hosts_per_switch=2))
+    ctrl = Controller(net)
+    l3 = ctrl.register(L3ShortestPathApp())
+    l3.wire_pair("h1", "h2")
+    net.run()  # rules active before measuring
+    client = SslStack(TcpStack(net.host("h1")))
+    server = SslStack(TcpStack(net.host("h2")))
+    listener = server.tcp.listen(443)
+    tcp_listener = server.tcp.listen(80)
+    t = {}
+
+    def srv_ssl():
+        yield from server.accept_on(listener)
+
+    def srv_tcp():
+        yield tcp_listener.accept()
+
+    def cli():
+        t0 = net.sim.now
+        yield client.tcp.connect(server.tcp.host.ip, 80)
+        t["tcp"] = net.sim.now - t0
+        t1 = net.sim.now
+        yield from client.connect(server.tcp.host.ip, 443)
+        t["ssl"] = net.sim.now - t1
+
+    net.sim.process(srv_ssl())
+    net.sim.process(srv_tcp())
+    net.sim.process(cli())
+    net.run()
+    assert t["ssl"] > t["tcp"] * 1.5
+
+
+def test_send_before_handshake_rejected():
+    net, client, server = build()
+    listener = server.tcp.listen(443)
+    errors = []
+
+    def cli():
+        conn = yield client.tcp.connect(server.tcp.host.ip, 443)
+        ssl_conn = SslConnection(conn, is_server=False)
+        try:
+            yield from ssl_conn.send(b"early")
+        except TcpError as e:
+            errors.append(e)
+
+    def srv():
+        yield listener.accept()
+
+    net.sim.process(srv())
+    net.sim.process(cli())
+    net.run()
+    assert errors
+
+
+def test_bulk_send_books_aes_on_both_ends():
+    net, client, server = build()
+    listener = server.tcp.listen(443)
+    payload = b"y" * 50_000
+    cpu_after_handshake = {}
+
+    def srv():
+        conn = yield from server.accept_on(listener)
+        cpu_after_handshake["server"] = server.tcp.host.cpu.busy_s
+        yield from conn.recv_exactly(len(payload))
+
+    def cli():
+        conn = yield from client.connect(server.tcp.host.ip, 443)
+        cpu_after_handshake["client"] = client.tcp.host.cpu.busy_s
+        yield from conn.send(payload)
+
+    net.sim.process(srv())
+    net.sim.process(cli())
+    net.run()
+    aes_cost = DEFAULT_COSTS.aes(len(payload))
+    assert client.tcp.host.cpu.busy_s - cpu_after_handshake["client"] >= aes_cost
+    assert server.tcp.host.cpu.busy_s - cpu_after_handshake["server"] >= aes_cost

@@ -1,0 +1,74 @@
+"""Unit tests for workload generators."""
+
+import random
+
+import pytest
+
+from repro.workloads import dc_mix, pick_pairs, poisson_arrivals
+
+
+class TestPoisson:
+    def test_times_sorted_and_within_horizon(self):
+        rng = random.Random(0)
+        times = list(poisson_arrivals(rng, rate_per_s=50.0, horizon_s=2.0))
+        assert times == sorted(times)
+        assert all(0 < t < 2.0 for t in times)
+
+    def test_rate_roughly_respected(self):
+        rng = random.Random(1)
+        times = list(poisson_arrivals(rng, rate_per_s=100.0, horizon_s=10.0))
+        assert 800 < len(times) < 1200  # ~1000 expected
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            list(poisson_arrivals(random.Random(0), 0.0, 1.0))
+
+
+class TestPickPairs:
+    HOSTS = [f"h{i}" for i in range(1, 9)]
+
+    def test_src_differs_from_dst(self):
+        rng = random.Random(2)
+        for src, dst in pick_pairs(rng, self.HOSTS, 50):
+            assert src != dst
+
+    def test_distinct_sources(self):
+        rng = random.Random(3)
+        pairs = pick_pairs(rng, self.HOSTS, 8, distinct_src=True)
+        assert len({s for s, _ in pairs}) == 8
+
+    def test_distinct_sources_exhausted(self):
+        with pytest.raises(ValueError):
+            pick_pairs(random.Random(0), self.HOSTS, 9, distinct_src=True)
+
+    def test_too_few_hosts(self):
+        with pytest.raises(ValueError):
+            pick_pairs(random.Random(0), ["h1"], 1)
+
+
+class TestDcMix:
+    def test_mix_sorted_and_typed(self):
+        rng = random.Random(4)
+        specs = dc_mix(rng, self.HOSTS if hasattr(self, "HOSTS") else
+                       [f"h{i}" for i in range(1, 9)], horizon_s=1.0)
+        starts = [s.start_s for s in specs]
+        assert starts == sorted(starts)
+        kinds = {s.kind for s in specs}
+        assert kinds <= {"rpc", "bulk"}
+
+    def test_rpcs_dominate_count(self):
+        rng = random.Random(5)
+        hosts = [f"h{i}" for i in range(1, 9)]
+        specs = dc_mix(rng, hosts, horizon_s=5.0,
+                       rpc_rate_per_s=50.0, bulk_rate_per_s=2.0)
+        rpcs = sum(1 for s in specs if s.kind == "rpc")
+        bulks = sum(1 for s in specs if s.kind == "bulk")
+        assert rpcs > 5 * bulks
+
+    def test_bulk_bytes_dominate_volume(self):
+        rng = random.Random(6)
+        hosts = [f"h{i}" for i in range(1, 9)]
+        specs = dc_mix(rng, hosts, horizon_s=5.0)
+        rpc_bytes = sum(s.nbytes for s in specs if s.kind == "rpc")
+        bulk_bytes = sum(s.nbytes for s in specs if s.kind == "bulk")
+        assert bulk_bytes > rpc_bytes

@@ -1,0 +1,80 @@
+"""Integration tests for iperf-style measurement over the duplex adapter."""
+
+import pytest
+
+from repro.net import Network, linear
+from repro.sdn import Controller, L3ShortestPathApp
+from repro.transport import TcpStack
+from repro.workloads import as_duplex, measure_echo, measure_transfer
+from repro.workloads.duplex import Duplex
+
+
+def tcp_pair():
+    net = Network(linear(1, hosts_per_switch=2))
+    ctrl = Controller(net)
+    ctrl.register(L3ShortestPathApp())
+    client, server = TcpStack(net.host("h1")), TcpStack(net.host("h2"))
+    listener = server.listen(80)
+    conns = {}
+
+    def srv():
+        conns["server"] = yield listener.accept()
+
+    def cli():
+        conns["client"] = yield client.connect(server.host.ip, 80)
+
+    net.sim.process(srv())
+    net.sim.process(cli())
+    net.run(until=1.0)
+    return net, as_duplex(conns["client"]), as_duplex(conns["server"])
+
+
+def run(net, gen):
+    proc = net.sim.process(gen)
+    net.run(until=proc)
+    return proc.value
+
+
+def test_transfer_reports_goodput():
+    net, tx, rx = tcp_pair()
+    result = run(net, measure_transfer(net.sim, tx, rx, 500_000))
+    assert result.bytes == 500_000
+    assert result.duration_s > 0
+    # 1 Gb/s link: goodput must be below line rate but within 2x of it.
+    assert 0.5e9 < result.goodput_bps < 1e9
+
+
+def test_transfer_bad_size_rejected():
+    net, tx, rx = tcp_pair()
+    with pytest.raises(ValueError):
+        run(net, measure_transfer(net.sim, tx, rx, 0))
+
+
+def test_echo_rtt_positive_and_small():
+    net, tx, rx = tcp_pair()
+    echo = run(net, measure_echo(net.sim, tx, rx, 10))
+    assert echo.payload_bytes == 10
+    # 2-hop path: well under a millisecond.
+    assert 0 < echo.rtt_s < 1e-3
+
+
+def test_duplex_rejects_unknown_types():
+    with pytest.raises(TypeError):
+        as_duplex(object())
+
+
+def test_duplex_kind():
+    net, tx, rx = tcp_pair()
+    assert tx.kind == "TcpConnection"
+
+
+def test_duplex_send_recv_symmetry():
+    net, tx, rx = tcp_pair()
+    got = {}
+
+    def scenario():
+        yield from tx.send(b"abcdef")
+        got["data"] = yield from rx.recv_exactly(6)
+
+    run(net, scenario())
+    assert got["data"] == b"abcdef"
