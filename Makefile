@@ -1,35 +1,47 @@
 # Convenience targets for the MIC reproduction.
 
 PYTHON ?= python
+# Same invocation the CI tier-1 gate uses (src/ layout, no install needed).
+PYPATH = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test bench figures quick-figures examples clean
+.PHONY: install test test-verbose lint verify bench figures quick-figures examples clean
 
 install:
 	pip install -e . --no-build-isolation || pip install -e .
 
 test:
-	$(PYTHON) -m pytest tests/
+	$(PYPATH) $(PYTHON) -m pytest -x -q
 
 test-verbose:
-	$(PYTHON) -m pytest tests/ -v
+	$(PYPATH) $(PYTHON) -m pytest -v
+
+# Determinism lint (always) + ruff, when available in the environment.
+lint:
+	$(PYPATH) $(PYTHON) -m repro.analysis lint src
+	@if $(PYTHON) -c "import ruff" 2>/dev/null || command -v ruff >/dev/null 2>&1; \
+	then ruff check src tests; else echo "ruff not installed; skipped"; fi
+
+# Static data-plane verification: 32 concurrent m-flows on a 4-ary fat-tree.
+verify:
+	$(PYPATH) $(PYTHON) -m repro.analysis verify-network --flows 32
 
 bench:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	$(PYPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 figures:
-	$(PYTHON) -m repro.bench --save benchmarks/results
+	$(PYPATH) $(PYTHON) -m repro.bench --save benchmarks/results
 
 quick-figures:
-	$(PYTHON) -m repro.bench --quick
+	$(PYPATH) $(PYTHON) -m repro.bench --quick
 
 examples:
-	$(PYTHON) examples/quickstart.py
-	$(PYTHON) examples/hidden_service.py
-	$(PYTHON) examples/traffic_analysis_defense.py
-	$(PYTHON) examples/datacenter_mix.py
-	$(PYTHON) examples/failure_recovery.py
-	$(PYTHON) examples/trace_capture.py
-	$(PYTHON) examples/udp_telemetry.py
+	$(PYPATH) $(PYTHON) examples/quickstart.py
+	$(PYPATH) $(PYTHON) examples/hidden_service.py
+	$(PYPATH) $(PYTHON) examples/traffic_analysis_defense.py
+	$(PYPATH) $(PYTHON) examples/datacenter_mix.py
+	$(PYPATH) $(PYTHON) examples/failure_recovery.py
+	$(PYPATH) $(PYTHON) examples/trace_capture.py
+	$(PYPATH) $(PYTHON) examples/udp_telemetry.py
 
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null || true

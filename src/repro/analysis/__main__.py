@@ -1,0 +1,129 @@
+"""CLI for the static analysis subsystem.
+
+``python -m repro.analysis verify-network`` builds a fat-tree fabric,
+establishes a batch of concurrent mimic channels through the real
+controller stack, and statically verifies every installed rule — the
+acceptance gate for "N concurrent m-flows, zero violations".
+
+``python -m repro.analysis lint`` runs the determinism lint
+(:mod:`repro.analysis.lint`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import Optional
+
+from . import lint as lint_mod
+from .verifier import verify_network
+
+
+def _cross_pod_pairs(topo, rng: random.Random, count: int) -> list[tuple[str, str]]:
+    """Draw host pairs from distinct pods (walks long enough for 3 MNs)."""
+    by_pod: dict[int, list[str]] = {}
+    for host in topo.hosts():
+        pod = topo.graph.nodes[host].get("pod")
+        if pod is not None:
+            by_pod.setdefault(pod, []).append(host)
+    pods = sorted(by_pod)
+    if len(pods) < 2:
+        raise SystemExit("need a multi-pod topology for verify-network")
+    pairs: list[tuple[str, str]] = []
+    for _ in range(count):
+        pa, pb = rng.sample(pods, 2)
+        pairs.append((rng.choice(by_pod[pa]), rng.choice(by_pod[pb])))
+    return pairs
+
+
+def _cmd_verify_network(args: argparse.Namespace) -> int:
+    # Imported here so `lint` works even if the simulator stack is broken.
+    from ..core import MimicController
+    from ..net import Network, fat_tree
+    from ..sdn import Controller, L3ShortestPathApp
+
+    net = Network(fat_tree(args.k), seed=args.seed)
+    ctrl = Controller(net)
+    mic = ctrl.register(MimicController())
+    ctrl.register(L3ShortestPathApp())
+
+    rng = random.Random(args.seed)
+    n_channels = -(-args.flows // args.flows_per_channel)  # ceil div
+    pairs = _cross_pod_pairs(net.topo, rng, n_channels)
+    failures: list[str] = []
+
+    def establish(a: str, b: str):
+        try:
+            yield from mic.establish(
+                a, b, service_port=80,
+                n_flows=args.flows_per_channel,
+                n_mns=args.n_mns,
+                decoys=args.decoys,
+            )
+        except Exception as exc:  # pragma: no cover - driver diagnostics
+            failures.append(f"{a}->{b}: {exc}")
+
+    for a, b in pairs:
+        net.sim.process(establish(a, b))
+    net.run(until=60.0)
+
+    if failures:
+        print("channel establishment failed:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 2
+
+    n_flows = sum(len(ch.flows) for ch in mic.channels.values())
+    print(
+        f"fabric: fat_tree(k={args.k}), {len(mic.channels)} channels, "
+        f"{n_flows} m-flows (seed {args.seed})"
+    )
+    report = verify_network(net, mic=mic)
+    print(report.format())
+    if report.errors:
+        return 1
+    if report.warnings and args.strict:
+        return 1
+    return 0
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="static data-plane verification and determinism lint",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    verify = sub.add_parser(
+        "verify-network",
+        help="establish a batch of mimic channels and verify the tables",
+    )
+    verify.add_argument("--k", type=int, default=4, help="fat-tree arity")
+    verify.add_argument(
+        "--flows", type=int, default=32,
+        help="total concurrent m-flows to establish (default 32)",
+    )
+    verify.add_argument(
+        "--flows-per-channel", type=int, default=2,
+        help="m-flows per channel (default 2)",
+    )
+    verify.add_argument("--n-mns", type=int, default=3,
+                        help="mimic nodes per walk (default 3)")
+    verify.add_argument("--decoys", type=int, default=1,
+                        help="decoy replicas per flow (default 1)")
+    verify.add_argument("--seed", type=int, default=0)
+    verify.add_argument("--strict", action="store_true",
+                        help="treat warnings as failures")
+    verify.set_defaults(func=_cmd_verify_network)
+
+    lint = sub.add_parser("lint", help="run the determinism lint")
+    lint.add_argument("paths", nargs="*", default=["src"])
+    lint.set_defaults(func=lambda a: lint_mod.main(a.paths))
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,240 @@
+"""Codebase determinism lint: ``python -m repro.analysis.lint [paths...]``.
+
+A discrete-event simulation is only trustworthy when one seed gives one
+trace.  Three classes of mistakes silently break that:
+
+* **wall-clock** — reading real time (``time.time`` and friends) inside
+  simulation logic couples results to the host machine;
+* **unseeded-random** — drawing from the global ``random`` module (or
+  ``numpy.random``) bypasses the engine's *named* RNG streams
+  (:meth:`repro.sim.engine.Simulator.rng`), so adding one draw anywhere
+  perturbs every stream everywhere;
+* **set-iteration** — iterating a ``set``/``frozenset``/set literal in code
+  that schedules events makes event order depend on hash seeds.
+
+The lint is purely AST-based (no imports of the linted code), resolves
+``import x as y`` / ``from x import y`` aliases, and supports per-line
+opt-outs with a ``# lint: allow(<rule>)`` pragma for the few legitimate
+uses (e.g. wall-clock reads in benchmark harnesses).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional
+
+__all__ = ["RULES", "Finding", "lint_source", "lint_paths", "main"]
+
+#: rule id → one-line description
+RULES = {
+    "wall-clock": "reads the host wall clock inside simulation code",
+    "unseeded-random": "draws from a global / unseeded RNG stream",
+    "set-iteration": "iterates an unordered set (hash-seed dependent order)",
+}
+
+_PRAGMA = re.compile(r"#\s*lint:\s*allow\(([\w, -]+)\)")
+
+#: fully-qualified callables that read the wall clock
+_WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.localtime",
+    "time.gmtime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: constructors that are fine *when given an explicit seed argument*
+_SEEDABLE_CTORS = {
+    "random.Random",
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+    "numpy.random.Generator",
+}
+
+#: always nondeterministic, seed or not
+_FORBIDDEN_RANDOM = {
+    "random.SystemRandom",
+    "os.urandom",
+    "secrets.token_bytes",
+    "secrets.token_hex",
+    "secrets.randbelow",
+    "uuid.uuid4",
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint hit."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        """Compiler-style one-liner: ``path:line: [rule] message``."""
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+class _Aliases(ast.NodeVisitor):
+    """Collect ``import``/``from-import`` aliases of one module."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, str] = {}  # local name -> dotted module
+        self.names: dict[str, str] = {}    # local name -> dotted attribute
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.modules[alias.asname or alias.name.split(".")[0]] = alias.name
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level or node.module is None:
+            return  # relative imports never reach stdlib RNG/clock modules
+        for alias in node.names:
+            self.names[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+
+
+def _resolve(node: ast.AST, aliases: _Aliases) -> Optional[str]:
+    """Dotted name of a call target, through the module's import aliases."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    base = node.id
+    parts.reverse()
+    if base in aliases.modules:
+        return ".".join([aliases.modules[base], *parts])
+    if base in aliases.names:
+        return ".".join([aliases.names[base], *parts])
+    return ".".join([base, *parts])
+
+
+def _allowed(source_line: str, rule: str) -> bool:
+    m = _PRAGMA.search(source_line)
+    if not m:
+        return False
+    allowed = {part.strip() for part in m.group(1).split(",")}
+    return rule in allowed or "all" in allowed
+
+
+def _is_set_expr(node: ast.AST, aliases: _Aliases) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = _resolve(node.func, aliases)
+        return name in ("set", "frozenset")
+    return False
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Finding]:
+    """Lint one module's source text; findings are line-ordered."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(path, exc.lineno or 0, "wall-clock",
+                        f"could not parse: {exc.msg}")]
+    aliases = _Aliases()
+    aliases.visit(tree)
+    lines = source.splitlines()
+    findings: list[Finding] = []
+
+    def emit(node: ast.AST, rule: str, message: str) -> None:
+        line_no = getattr(node, "lineno", 0)
+        text = lines[line_no - 1] if 0 < line_no <= len(lines) else ""
+        if _allowed(text, rule):
+            return
+        findings.append(Finding(path, line_no, rule, message))
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            name = _resolve(node.func, aliases)
+            if name is None:
+                continue
+            if name in _WALL_CLOCK_CALLS:
+                emit(node, "wall-clock",
+                     f"{name}() couples results to the host clock; use "
+                     "sim.now for simulated time")
+            elif name in _FORBIDDEN_RANDOM:
+                emit(node, "unseeded-random",
+                     f"{name}() is nondeterministic by construction")
+            elif name in _SEEDABLE_CTORS:
+                if not node.args and not node.keywords:
+                    emit(node, "unseeded-random",
+                         f"{name}() without a seed is entropy-seeded; pass "
+                         "an explicit seed or use sim.rng(<stream>)")
+            elif name.startswith("random.") or name.startswith("numpy.random."):
+                emit(node, "unseeded-random",
+                     f"{name}() draws from the shared global stream; use "
+                     "sim.rng(<stream>) so draws stay isolated per purpose")
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            if _is_set_expr(node.iter, aliases):
+                emit(node, "set-iteration",
+                     "iterating a set makes order depend on the hash seed; "
+                     "sort it or use dict.fromkeys to dedupe in order")
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                               ast.DictComp)):
+            for gen in node.generators:
+                if _is_set_expr(gen.iter, aliases):
+                    emit(gen.iter, "set-iteration",
+                         "comprehension iterates a set; order depends on the "
+                         "hash seed — sort it or dedupe with dict.fromkeys")
+    findings.sort(key=lambda f: f.line)
+    return findings
+
+
+def lint_paths(paths: Iterable[str]) -> list[Finding]:
+    """Lint every ``*.py`` file under the given files/directories."""
+    findings: list[Finding] = []
+    for raw in paths:
+        root = Path(raw)
+        if not root.exists():
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for file in files:
+            findings.extend(
+                lint_source(file.read_text(encoding="utf-8"), str(file))
+            )
+    return findings
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """CLI entry point; returns a process exit code (1 when issues found)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="determinism lint for simulation code",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        findings = lint_paths(args.paths)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for finding in findings:
+        print(finding.format())
+    if findings:
+        print(f"{len(findings)} determinism issue(s) found")
+        return 1
+    print("determinism lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

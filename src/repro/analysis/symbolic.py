@@ -1,0 +1,270 @@
+"""Symbolic packet headers and rewrite-aware action execution.
+
+The verifier reasons about *classes* of packets instead of injecting real
+ones (the VeriFlow idea applied to MIC's match lattice).  A
+:class:`SymbolicHeader` assigns each matchable field either a concrete value
+or :data:`ANY`; the MPLS field has the extra concrete state ``None`` ("no
+shim"), mirroring :class:`repro.net.packet.Packet`.
+
+Matching comes in two strengths:
+
+* :func:`could_match` — some concrete packet in the class matches the rule,
+* :func:`must_match` — every concrete packet in the class matches the rule.
+
+Traversal refines a header through the rules it follows
+(:func:`refine`) and pushes it through action lists
+(:func:`apply_actions`) without touching any switch state or counters —
+the data plane is never perturbed by verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Optional, Sequence
+
+from ..net.flowtable import (
+    CONTROLLER_PORT,
+    Action,
+    Drop,
+    FlowEntry,
+    Group,
+    GroupEntry,
+    Match,
+    Output,
+    PopMpls,
+    PushMpls,
+    SetField,
+    ToController,
+)
+
+__all__ = [
+    "ANY",
+    "SymbolicHeader",
+    "could_match",
+    "must_match",
+    "refine",
+    "apply_actions",
+    "SymbolicResult",
+    "winner_entry",
+    "candidate_entries",
+]
+
+
+class _Any:
+    """Singleton wildcard marker for one symbolic field."""
+
+    _instance: Optional["_Any"] = None
+
+    def __new__(cls) -> "_Any":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "*"
+
+
+#: "this field may hold any value" (including, for mpls, "no shim")
+ANY = _Any()
+
+#: header fields a Match can constrain, minus the in_port metadata field
+_HEADER_FIELDS = (
+    "eth_src",
+    "eth_dst",
+    "ip_src",
+    "ip_dst",
+    "proto",
+    "sport",
+    "dport",
+    "mpls",
+)
+
+
+@dataclass(frozen=True)
+class SymbolicHeader:
+    """A set of packet headers: concrete values and :data:`ANY` wildcards.
+
+    ``in_port`` travels with the header because OpenFlow matching treats the
+    ingress port as just another match field; emissions replace it with the
+    peer's concrete port.
+    """
+
+    eth_src: Any = ANY
+    eth_dst: Any = ANY
+    ip_src: Any = ANY
+    ip_dst: Any = ANY
+    proto: Any = ANY
+    sport: Any = ANY
+    dport: Any = ANY
+    mpls: Any = ANY  # ANY | None (no shim) | int label
+    in_port: Any = ANY
+
+    def key(self) -> tuple:
+        """Hashable identity for visited-state tracking."""
+        return tuple(getattr(self, f) for f in _HEADER_FIELDS) + (self.in_port,)
+
+    def describe(self) -> str:
+        """Compact rendering listing only the concrete fields."""
+        parts = [
+            f"{f}={getattr(self, f)}"
+            for f in _HEADER_FIELDS + ("in_port",)
+            if getattr(self, f) is not ANY
+        ]
+        return "Hdr(" + ", ".join(parts) + ")" if parts else "Hdr(*)"
+
+    __repr__ = describe
+
+
+def _field_could(constraint: Any, value: Any, is_mpls: bool) -> bool:
+    if constraint is None:  # wildcard match field
+        return True
+    if value is ANY:
+        return True
+    if is_mpls and constraint == Match.NO_MPLS:
+        return value is None
+    return value == constraint
+
+
+def _field_must(constraint: Any, value: Any, is_mpls: bool) -> bool:
+    if constraint is None:
+        return True
+    if value is ANY:
+        return False
+    if is_mpls and constraint == Match.NO_MPLS:
+        return value is None
+    return value == constraint
+
+
+def could_match(match: Match, hdr: SymbolicHeader) -> bool:
+    """True iff some concrete packet in ``hdr`` matches ``match``."""
+    if not _field_could(match.in_port, hdr.in_port, False):
+        return False
+    for f in _HEADER_FIELDS:
+        if not _field_could(getattr(match, f), getattr(hdr, f), f == "mpls"):
+            return False
+    return True
+
+
+def must_match(match: Match, hdr: SymbolicHeader) -> bool:
+    """True iff every concrete packet in ``hdr`` matches ``match``."""
+    if not _field_must(match.in_port, hdr.in_port, False):
+        return False
+    for f in _HEADER_FIELDS:
+        if not _field_must(getattr(match, f), getattr(hdr, f), f == "mpls"):
+            return False
+    return True
+
+
+def refine(match: Match, hdr: SymbolicHeader) -> SymbolicHeader:
+    """Narrow ``hdr`` to the packets that also satisfy ``match``.
+
+    Caller must have established :func:`could_match` first; concrete header
+    fields are left alone, wildcards take the match's constraint.
+    """
+    updates: dict[str, Any] = {}
+    for f in _HEADER_FIELDS:
+        constraint = getattr(match, f)
+        if constraint is None or getattr(hdr, f) is not ANY:
+            continue
+        if f == "mpls" and constraint == Match.NO_MPLS:
+            updates[f] = None
+        else:
+            updates[f] = constraint
+    if match.in_port is not None and hdr.in_port is ANY:
+        updates["in_port"] = match.in_port
+    return replace(hdr, **updates) if updates else hdr
+
+
+def header_from_match(match: Match) -> SymbolicHeader:
+    """The symbolic header class described by a rule's match."""
+    return refine(match, SymbolicHeader())
+
+
+@dataclass
+class SymbolicResult:
+    """Outcome of pushing a header through one action list."""
+
+    emissions: list[tuple[int, SymbolicHeader]]
+    punted: bool = False
+    dropped: bool = False
+    missing_group: Optional[int] = None
+
+
+def apply_actions(
+    actions: Sequence[Action],
+    hdr: SymbolicHeader,
+    groups: dict[int, GroupEntry],
+) -> SymbolicResult:
+    """Symbolically execute ``actions`` on ``hdr``.
+
+    Mirrors :meth:`repro.net.flowtable.FlowTable._run_actions` — sequential
+    ``set-field`` rewrites, per-``output`` snapshots, type-*all* group
+    expansion on a copy per bucket — but over header classes and with no
+    side effects on the table.
+    """
+    result = SymbolicResult(emissions=[])
+    current = hdr
+    saw_output = False
+    for action in actions:
+        if isinstance(action, SetField):
+            if action.field == "ttl":
+                continue  # not matchable; irrelevant to classification
+            current = replace(current, **{action.field: action.value})
+        elif isinstance(action, PushMpls):
+            current = replace(current, mpls=action.label)
+        elif isinstance(action, PopMpls):
+            current = replace(current, mpls=None)
+        elif isinstance(action, Output):
+            if action.port == CONTROLLER_PORT:
+                result.punted = True
+            else:
+                result.emissions.append((action.port, current))
+            saw_output = True
+        elif isinstance(action, Group):
+            group = groups.get(action.group_id)
+            if group is None:
+                result.missing_group = action.group_id
+            else:
+                for bucket in group.buckets:
+                    sub = apply_actions(bucket, current, groups)
+                    result.emissions.extend(sub.emissions)
+                    result.punted = result.punted or sub.punted
+                    if sub.missing_group is not None:
+                        result.missing_group = sub.missing_group
+            saw_output = True
+        elif isinstance(action, ToController):
+            result.punted = True
+        elif isinstance(action, Drop):
+            result.dropped = True
+            break
+    if not saw_output and not result.punted and not result.dropped:
+        # An action list with no output at all silently discards the packet.
+        result.dropped = True
+    return result
+
+
+def winner_entry(
+    entries: Sequence[FlowEntry], hdr: SymbolicHeader
+) -> Optional[FlowEntry]:
+    """The entry a fully-concrete header would hit, or None on table miss."""
+    for entry in entries:
+        if could_match(entry.match, hdr):
+            return entry
+    return None
+
+
+def candidate_entries(
+    entries: Sequence[FlowEntry], hdr: SymbolicHeader
+) -> list[FlowEntry]:
+    """Entries some packet of ``hdr`` could hit, in priority order.
+
+    The scan stops after the first entry that *must* match: everything below
+    it is unreachable for this header class.
+    """
+    out: list[FlowEntry] = []
+    for entry in entries:
+        if could_match(entry.match, hdr):
+            out.append(entry)
+            if must_match(entry.match, hdr):
+                break
+    return out

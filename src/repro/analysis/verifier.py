@@ -1,0 +1,336 @@
+"""Static data-plane verifier for an installed :class:`Network` configuration.
+
+Three layers of checks, all over the installed flow/group tables and none
+requiring a single packet to be injected:
+
+* **table-local** (:func:`verify_tables`) — shadowed/unreachable entries,
+  same-priority overlaps with divergent actions, literal duplicates,
+  dangling group references and dead output ports;
+* **match-key uniqueness** (:func:`verify_match_keys`) — the MIC invariant
+  of Sec IV-B3, re-proved from the installed rules themselves: no two
+  owners (cookies) may share one ⟨src, dst, mpls, sport, dport⟩ key on a
+  switch, optionally cross-checked against the runtime
+  :class:`repro.core.collision.CollisionRegistry`;
+* **forwarding graph** (:func:`verify_forwarding`) — rewrite-aware symbolic
+  traversal from every installed rule, detecting loops that survive header
+  rewriting (a header class returning to a switch it already crossed).
+
+:func:`verify_network` bundles the layers and, given a Mimic Controller,
+adds the per-m-flow intent checks from :mod:`repro.analysis.invariants`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as _replace
+from typing import Iterable, Optional
+
+from ..net.flowtable import FlowEntry, Group, Match
+from ..net.network import Network
+from .report import Severity, VerificationReport, Violation
+from .symbolic import (
+    SymbolicHeader,
+    apply_actions,
+    candidate_entries,
+    header_from_match,
+    refine,
+)
+
+__all__ = [
+    "verify_network",
+    "verify_tables",
+    "verify_match_keys",
+    "verify_forwarding",
+    "port_neighbor_map",
+    "match_key",
+]
+
+#: traversal budget per origin rule (states), far above any legal path
+_MAX_STATES_PER_ORIGIN = 512
+
+
+def port_neighbor_map(net: Network) -> dict[tuple[str, int], str]:
+    """Reverse the port wiring: (node, local port) → neighbor node name."""
+    return {
+        (node, port): neighbor
+        for (node, neighbor), port in net.port_map.items()
+    }
+
+
+def match_key(match: Match) -> tuple:
+    """The collision-registry key of a rule: ⟨src, dst, mpls, sport, dport⟩.
+
+    String addresses and a ``None`` for "no shim" — exactly the form
+    :class:`CollisionRegistry` records, so static and runtime bookkeeping
+    compare bit-for-bit.
+    """
+    mpls = None if match.mpls == Match.NO_MPLS else match.mpls
+    return (str(match.ip_src), str(match.ip_dst), mpls, match.sport, match.dport)
+
+
+def _actions_equal(a: FlowEntry, b: FlowEntry) -> bool:
+    return list(a.actions) == list(b.actions)
+
+
+# ----------------------------------------------------------------------
+# Layer 1: table-local checks
+# ----------------------------------------------------------------------
+def verify_tables(net: Network, report: VerificationReport) -> None:
+    """Per-switch structural checks on every installed table."""
+    neighbors = port_neighbor_map(net)
+    for sw in net.switches():
+        entries = sw.table.entries  # priority-desc, insertion-order snapshot
+        groups = sw.table.groups
+        report.checked_switches += 1
+        report.checked_rules += len(entries)
+        report.checked_groups += len(groups)
+
+        for entry in entries:
+            for action in entry.actions:
+                if isinstance(action, Group) and action.group_id not in groups:
+                    report.add(Violation(
+                        kind="dangling-group",
+                        message=(
+                            f"rule on {sw.name} references group "
+                            f"{action.group_id} which is not installed"
+                        ),
+                        switch=sw.name,
+                        rule=entry.describe(),
+                    ))
+            for port, _hdr in _static_outputs(entry, groups):
+                if (sw.name, port) not in neighbors:
+                    report.add(Violation(
+                        kind="dangling-port",
+                        message=(
+                            f"rule on {sw.name} outputs to port {port}, "
+                            "which has no link behind it"
+                        ),
+                        switch=sw.name,
+                        rule=entry.describe(),
+                    ))
+
+        for i, hi in enumerate(entries):
+            for lo in entries[i + 1:]:
+                _check_pair(sw.name, hi, lo, report)
+
+
+def _static_outputs(entry: FlowEntry, groups) -> list[tuple[int, SymbolicHeader]]:
+    result = apply_actions(entry.actions, header_from_match(entry.match), groups)
+    return result.emissions
+
+
+def _check_pair(
+    switch: str, hi: FlowEntry, lo: FlowEntry, report: VerificationReport
+) -> None:
+    """Conflict analysis for one ordered entry pair (hi precedes lo)."""
+    if not hi.match.intersects(lo.match):
+        return
+    if hi.match.covers(lo.match):
+        if hi.priority == lo.priority:
+            if _actions_equal(hi, lo):
+                report.add(Violation(
+                    kind="duplicate-rule",
+                    severity=Severity.WARNING,
+                    message=(
+                        f"entry #{lo.entry_id} on {switch} is redundant: "
+                        f"covered at equal priority by entry #{hi.entry_id} "
+                        "with identical actions"
+                    ),
+                    switch=switch,
+                    rule=lo.describe(),
+                ))
+            else:
+                report.add(Violation(
+                    kind="overlap",
+                    message=(
+                        f"same-priority rules on {switch} overlap with "
+                        f"divergent actions; entry #{hi.entry_id} wins only "
+                        f"by insertion order over #{lo.entry_id}"
+                    ),
+                    switch=switch,
+                    rule=f"{hi.describe()}  vs  {lo.describe()}",
+                ))
+        else:
+            report.add(Violation(
+                kind="shadowed-rule",
+                severity=(
+                    Severity.ERROR
+                    if not _actions_equal(hi, lo)
+                    else Severity.WARNING
+                ),
+                message=(
+                    f"entry #{lo.entry_id} on {switch} is unreachable: "
+                    f"fully shadowed by higher-priority entry #{hi.entry_id}"
+                ),
+                switch=switch,
+                rule=f"shadowed: {lo.describe()}  by: {hi.describe()}",
+            ))
+    elif hi.priority == lo.priority and not _actions_equal(hi, lo):
+        report.add(Violation(
+            kind="overlap",
+            message=(
+                f"same-priority rules on {switch} partially overlap with "
+                f"divergent actions; packets in the intersection hit entry "
+                f"#{hi.entry_id} only by insertion order (over #{lo.entry_id})"
+            ),
+            switch=switch,
+            rule=f"{hi.describe()}  vs  {lo.describe()}",
+        ))
+
+
+# ----------------------------------------------------------------------
+# Layer 2: MIC match-key uniqueness
+# ----------------------------------------------------------------------
+def verify_match_keys(
+    net: Network,
+    report: VerificationReport,
+    priorities: Iterable[int],
+    registry=None,
+) -> None:
+    """No two owners may install the same match key on one switch.
+
+    ``priorities`` selects the MIC-managed rules (m-flow + decoy-drop
+    bands).  With a ``registry``, every installed key must also be known to
+    the runtime :class:`CollisionRegistry` — the static proof and the
+    dynamic defence-in-depth bookkeeping must agree.
+    """
+    prios = set(priorities)
+    for sw in net.switches():
+        by_key: dict[tuple, list[FlowEntry]] = {}
+        for entry in sw.table.entries:
+            if entry.priority not in prios:
+                continue
+            by_key.setdefault(match_key(entry.match), []).append(entry)
+        for key, owners in by_key.items():
+            cookies = {e.cookie for e in owners}
+            if len(cookies) > 1:
+                rendered = "  |  ".join(e.describe() for e in owners)
+                report.add(Violation(
+                    kind="duplicate-match-key",
+                    message=(
+                        f"match key {key} on {sw.name} is installed by "
+                        f"{len(cookies)} distinct flows "
+                        f"(cookies {sorted(f'{c:#x}' for c in cookies)})"
+                    ),
+                    switch=sw.name,
+                    rule=rendered,
+                ))
+            if registry is not None and registry.owner(sw.name, key) is None:
+                report.add(Violation(
+                    kind="registry-mismatch",
+                    message=(
+                        f"match key {key} is installed on {sw.name} but "
+                        "unknown to the collision registry"
+                    ),
+                    switch=sw.name,
+                    rule=owners[0].describe(),
+                ))
+
+
+# ----------------------------------------------------------------------
+# Layer 3: rewrite-aware forwarding-graph traversal
+# ----------------------------------------------------------------------
+def verify_forwarding(net: Network, report: VerificationReport) -> None:
+    """Detect forwarding loops from every installed rule.
+
+    Each rule seeds a traversal with the header class of its own match;
+    the class is pushed through the rule's rewrites and followed across
+    links, refining through every rule it could hit downstream.  A header
+    class revisiting a switch state already on the current path is a loop —
+    rewrites are part of the state, so "A rewrites to B, B rewrites back to
+    A" two switches apart is caught, not just port-level cycles.
+    """
+    neighbors = port_neighbor_map(net)
+    tables = {sw.name: sw.table for sw in net.switches()}
+    for sw in net.switches():
+        for origin in sw.table.entries:
+            _trace_origin(net, sw.name, origin, tables, neighbors, report)
+
+
+def _trace_origin(
+    net: Network,
+    origin_switch: str,
+    origin: FlowEntry,
+    tables,
+    neighbors,
+    report: VerificationReport,
+) -> None:
+    start = header_from_match(origin.match)
+    # DFS with an explicit stack; `path` holds the states on the current
+    # branch so diamonds (reconvergence) are pruned, not reported as loops.
+    visited: set[tuple] = set()
+    budget = _MAX_STATES_PER_ORIGIN
+
+    def dfs(node: str, hdr: SymbolicHeader, path: frozenset) -> None:
+        nonlocal budget
+        if budget <= 0:
+            return
+        budget -= 1
+        state = (node, hdr.key())
+        if state in path:
+            report.add(Violation(
+                kind="loop",
+                message=(
+                    f"forwarding loop: header {hdr.describe()} returns to "
+                    f"{node} (seeded by rule on {origin_switch})"
+                ),
+                switch=node,
+                rule=origin.describe(),
+            ))
+            return
+        if state in visited:
+            return
+        visited.add(state)
+        table = tables.get(node)
+        if table is None:  # host: traffic leaves the fabric here
+            return
+        for entry in candidate_entries(table.entries, hdr):
+            refined = refine(entry.match, hdr)
+            result = apply_actions(entry.actions, refined, table.groups)
+            for port, out_hdr in result.emissions:
+                peer = neighbors.get((node, port))
+                if peer is None:
+                    continue  # dead port; verify_tables reports it
+                next_hdr = _replace(
+                    out_hdr,
+                    in_port=net.port_map.get((peer, node), out_hdr.in_port),
+                )
+                dfs(peer, next_hdr, path | {state})
+
+    dfs(origin_switch, start, frozenset())
+
+
+# ----------------------------------------------------------------------
+# Bundle
+# ----------------------------------------------------------------------
+def verify_network(
+    net: Network,
+    mic=None,
+    registry=None,
+    check_tables: bool = True,
+    check_forwarding: bool = True,
+    check_intents: bool = True,
+    mic_priorities: Optional[Iterable[int]] = None,
+) -> VerificationReport:
+    """Statically verify an installed network configuration.
+
+    ``mic`` (a :class:`repro.core.controller.MimicController`, duck-typed)
+    unlocks the intent-level invariants: per-m-flow rewrite-chain replay,
+    plaintext-leak and partial-multicast checks, MAGA class membership, and
+    the registry cross-check (``registry`` defaults to ``mic.registry``).
+    """
+    report = VerificationReport()
+    if registry is None and mic is not None:
+        registry = getattr(mic, "registry", None)
+    if mic_priorities is None:
+        from ..core.controller import DECOY_DROP_PRIORITY, MIC_PRIORITY
+        mic_priorities = (MIC_PRIORITY, DECOY_DROP_PRIORITY)
+
+    if check_tables:
+        verify_tables(net, report)
+    verify_match_keys(net, report, mic_priorities, registry=registry)
+    if check_forwarding:
+        verify_forwarding(net, report)
+    if check_intents and mic is not None:
+        from .invariants import verify_intents
+        verify_intents(net, mic, report)
+    return report

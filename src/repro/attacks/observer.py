@@ -9,7 +9,7 @@ on-path observer would have.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from ..net.network import Network

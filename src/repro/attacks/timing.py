@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import math
 from collections import defaultdict
-from dataclasses import dataclass
 from typing import Sequence
 
 from .correlation import CorrelationResult

@@ -81,16 +81,16 @@ def main(argv: list[str] | None = None) -> int:
         save_dir.mkdir(parents=True, exist_ok=True)
 
     results = []
-    t_start = time.perf_counter()
+    t_start = time.perf_counter()  # lint: allow(wall-clock)
     for key in chosen:
         title, fn = EXPERIMENTS[key]
         print(f"== {title} ==")
-        t0 = time.perf_counter()
+        t0 = time.perf_counter()  # lint: allow(wall-clock)
         result = fn(args.quick)
         results.append(result)
         table = result.format_table()
         print(table)
-        print(f"   ({time.perf_counter() - t0:.1f}s)\n")
+        print(f"   ({time.perf_counter() - t0:.1f}s)\n")  # lint: allow(wall-clock)
         if save_dir:
             (save_dir / f"{key}.txt").write_text(table + "\n")
     if args.report:
@@ -98,7 +98,7 @@ def main(argv: list[str] | None = None) -> int:
 
         notes = "_Reduced sweeps (--quick)._" if args.quick else None
         pathlib.Path(args.report).write_text(
-            render_report(results, elapsed_s=time.perf_counter() - t_start,
+            render_report(results, elapsed_s=time.perf_counter() - t_start,  # lint: allow(wall-clock)
                           notes=notes)
         )
         print(f"report written to {args.report}")

@@ -274,13 +274,13 @@ def scalability_routing_calculation(
         samples = []
         for r in range(reps):
             owner = f"bench{r}-{count}"
-            t0 = time.perf_counter()
+            t0 = time.perf_counter()  # lint: allow(wall-clock)
             plans = [
                 mic._plan_flow("h1", "h16", 80, 3, cookie=r * 100 + i,
                                owner=owner)
                 for i in range(count)
             ]
-            samples.append(time.perf_counter() - t0)
+            samples.append(time.perf_counter() - t0)  # lint: allow(wall-clock)
             mic.registry.release_owner(owner)
             for plan in plans:
                 mic.flow_ids.release(plan.flow_id)
@@ -319,7 +319,7 @@ def scalability_vs_fabric(seed: int = 0) -> FigureResult:
         mic._plan_flow(src, dst, 80, 3, cookie=0, owner="warm")
         mic.registry.release_owner("warm")
         mic.flow_ids._live.clear()
-        t0 = time.perf_counter()
+        t0 = time.perf_counter()  # lint: allow(wall-clock)
         reps = 30
         for r in range(reps):
             owner = f"f{r}"
@@ -327,5 +327,5 @@ def scalability_vs_fabric(seed: int = 0) -> FigureResult:
             mic.registry.release_owner(owner)
             mic.flow_ids.release(plan.flow_id)
         result.add("plan time", f"k={k} ({len(hosts)} hosts)",
-                   (time.perf_counter() - t0) / reps)
+                   (time.perf_counter() - t0) / reps)  # lint: allow(wall-clock)
     return result

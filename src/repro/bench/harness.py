@@ -8,7 +8,6 @@ figure plots, so benches and EXPERIMENTS.md share one source of truth.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
 
 __all__ = ["FigureResult", "run_process", "fmt_si"]
 

@@ -7,7 +7,7 @@ local Tor deployment (directory + relays on a subset of hosts).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from ..core import MicEndpoint, MicServer, MimicController

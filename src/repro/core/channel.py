@@ -10,8 +10,7 @@ compiles them into switch rules.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from dataclasses import dataclass
 
 from ..net.addresses import IPv4Addr
 from .collision import MAddress

@@ -20,7 +20,6 @@ sockets plus header bytes, exactly the paper's deployability goal.
 
 from __future__ import annotations
 
-import itertools
 from typing import Optional, Union
 
 from ..crypto import DEFAULT_COSTS, CryptoCostModel, seal, unseal

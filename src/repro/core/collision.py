@@ -19,7 +19,7 @@ switch.  Three layers cooperate:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..net.addresses import IPv4Addr

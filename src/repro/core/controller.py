@@ -22,7 +22,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Optional, Sequence, Union
 
-from ..crypto import DEFAULT_COSTS, CryptoCostModel, Key, Sealed, seal, unseal
+from ..crypto import DEFAULT_COSTS, CryptoCostModel, Key, seal, unseal
 from ..net.addresses import IPv4Addr, MacAddr, ip
 from ..net.flowtable import (
     Drop,
@@ -121,6 +121,7 @@ class MimicController(ControllerApp):
         idle_timeout_s: Optional[float] = None,
         shared_flow_hash: bool = False,
         costs: CryptoCostModel = DEFAULT_COSTS,
+        verify: bool = False,
     ):
         if mn_strategy not in ("random", "spread"):
             raise ValueError(f"unknown MN strategy {mn_strategy!r}")
@@ -133,6 +134,10 @@ class MimicController(ControllerApp):
         #: ablation switch: one global F instead of per-MN functions
         self.shared_flow_hash = shared_flow_hash
         self.costs = costs
+        #: re-verify the whole data plane after every install batch
+        #: (static proof of Sec IV-B3's collision freedom; see
+        #: docs/verification.md)
+        self.verify_installs = verify
         self.channels: dict[int, MimicChannel] = {}
         self.requests_served = 0
         self.cpu_busy_s = 0.0  # MC-side compute accounting
@@ -321,7 +326,7 @@ class MimicController(ControllerApp):
         except Exception as exc:
             # A switch refused an install (e.g. table full): remove whatever
             # landed and surface a clean failure.
-            for sw_name in touched:
+            for sw_name in sorted(touched):
                 for plan in plans:
                     self.controller.remove_by_cookie(sw_name, plan.cookie)
             for plan in plans:
@@ -339,6 +344,8 @@ class MimicController(ControllerApp):
         )
         channel._touched_switches = sorted(touched)  # type: ignore[attr-defined]
         self.channels[channel_id] = channel
+        if self.verify_installs:
+            self.verify().raise_if_failed()
         self.net.trace.emit(
             self.sim.now,
             "mic.establish",
@@ -815,8 +822,10 @@ class MimicController(ControllerApp):
     def _repair_flow(self, channel: MimicChannel, idx: int):
         old = channel.flows[idx]
         owner = f"ch{channel.channel_id}/c{old.cookie}"
-        # Remove the dead flow's rules and registry claims.
-        for node in set(old.walk):
+        # Remove the dead flow's rules and registry claims.  Walk order, not
+        # set order: removals schedule control-plane work, which must not
+        # depend on the hash seed.
+        for node in dict.fromkeys(old.walk):
             if self.net.topo.kind(node) == "switch":
                 self.controller.remove_by_cookie(node, old.cookie)
         self.registry.release_owner(owner)
@@ -845,6 +854,8 @@ class MimicController(ControllerApp):
         yield self.sim.all_of(events)
         channel.flows[idx] = new_plan
         channel._touched_switches = sorted(touched)  # type: ignore[attr-defined]
+        if self.verify_installs:
+            self.verify().raise_if_failed()
         self.net.trace.emit(
             self.sim.now,
             "mic.repair",
@@ -867,6 +878,17 @@ class MimicController(ControllerApp):
                 self.teardown(cid)
 
     # -- introspection ------------------------------------------------------
+    def verify(self):
+        """Statically verify the installed data plane against the live plans.
+
+        Returns a :class:`repro.analysis.VerificationReport`; call
+        ``raise_if_failed()`` on it (or construct the controller with
+        ``verify=True``) to turn findings into exceptions.
+        """
+        from ..analysis import verify_network
+
+        return verify_network(self.net, mic=self)
+
     def channel_of(self, channel_id: int) -> Optional[MimicChannel]:
         """Live channel state by ID, or None."""
         return self.channels.get(channel_id)

@@ -9,7 +9,7 @@ common conveniences (endpoints, servers, hidden services, running).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Optional
 
 from ..net.network import Network
 from ..net.params import NetParams

@@ -115,12 +115,46 @@ class Match:
         """Hashable identity used to detect duplicate installs."""
         return tuple(getattr(self, f) for f in _MATCHABLE)
 
+    def intersects(self, other: "Match") -> bool:
+        """True iff some packet (on some port) could match both.
+
+        Per-field: two concrete constraints conflict only when they differ;
+        a wildcard (``None``) never conflicts.  ``NO_MPLS`` behaves as a
+        concrete value distinct from every real label, so "no shim" and
+        "label 7" are correctly disjoint.
+        """
+        for f in _MATCHABLE:
+            a, b = getattr(self, f), getattr(other, f)
+            if a is not None and b is not None and a != b:
+                return False
+        return True
+
+    def covers(self, other: "Match") -> bool:
+        """True iff every packet matched by ``other`` is matched by ``self``.
+
+        This is the partial order of the match lattice: ``self`` is at least
+        as general as ``other`` on every field.  A higher-priority entry
+        whose match covers a lower-priority one *shadows* it completely.
+        """
+        for f in _MATCHABLE:
+            mine = getattr(self, f)
+            if mine is None:
+                continue
+            if getattr(other, f) != mine:
+                return False
+        return True
+
     def describe(self) -> str:
         """Compact text form listing only the constrained fields."""
         parts = [
-            f"{f}={getattr(self, f)}" for f in _MATCHABLE if getattr(self, f) is not None
+            f"{f}={'NO_MPLS' if f == 'mpls' and getattr(self, f) == Match.NO_MPLS else getattr(self, f)}"
+            for f in _MATCHABLE
+            if getattr(self, f) is not None
         ]
         return "Match(" + ", ".join(parts) + ")" if parts else "Match(*)"
+
+    def __repr__(self) -> str:
+        return self.describe()
 
 
 class Action:
@@ -194,7 +228,14 @@ class FlowEntry:
 
     def describe(self) -> str:
         """One-line rule rendering for traces and debugging."""
-        return f"[prio={self.priority}] {self.match.describe()} -> {list(self.actions)}"
+        acts = ", ".join(_fmt_action(a) for a in self.actions)
+        return f"[prio={self.priority}] {self.match.describe()} -> [{acts}]"
+
+    def __repr__(self) -> str:
+        return (
+            f"<FlowEntry #{self.entry_id} cookie={self.cookie:#x} "
+            f"{self.describe()}>"
+        )
 
 
 @dataclass
@@ -204,6 +245,36 @@ class GroupEntry:
     group_id: int
     buckets: Sequence[Sequence[Action]]
     cookie: int = 0
+
+    def describe(self) -> str:
+        """One-line group rendering for traces and diagnostics."""
+        rendered = "; ".join(
+            "[" + ", ".join(_fmt_action(a) for a in bucket) + "]"
+            for bucket in self.buckets
+        )
+        return f"group {self.group_id} ({len(self.buckets)} buckets): {rendered}"
+
+    def __repr__(self) -> str:
+        return f"<GroupEntry cookie={self.cookie:#x} {self.describe()}>"
+
+
+def _fmt_action(action: Action) -> str:
+    """Compact single-action rendering used by rule diagnostics."""
+    if isinstance(action, SetField):
+        return f"set {action.field}={action.value}"
+    if isinstance(action, Output):
+        return "output:controller" if action.port == CONTROLLER_PORT else f"output:{action.port}"
+    if isinstance(action, Group):
+        return f"group:{action.group_id}"
+    if isinstance(action, PushMpls):
+        return f"push_mpls:{action.label}"
+    if isinstance(action, PopMpls):
+        return "pop_mpls"
+    if isinstance(action, Drop):
+        return "drop"
+    if isinstance(action, ToController):
+        return "to_controller"
+    return repr(action)
 
 
 class TableMissError(LookupError):
@@ -284,6 +355,23 @@ class FlowTable:
     def entries(self) -> list[FlowEntry]:
         """Snapshot of installed entries, priority order."""
         return list(self._entries)
+
+    def conflicting_entries(
+        self, match: Match, priority: Optional[int] = None
+    ) -> list[FlowEntry]:
+        """Installed entries whose match intersects ``match``.
+
+        With ``priority`` given, only entries at that exact priority are
+        returned — the set whose relative order decides the winner for
+        packets in the intersection.  Used by the static verifier and by
+        tests probing rule interactions.
+        """
+        return [
+            e
+            for e in self._entries
+            if (priority is None or e.priority == priority)
+            and e.match.intersects(match)
+        ]
 
     @property
     def groups(self) -> dict[int, GroupEntry]:

@@ -12,7 +12,7 @@ uniform.  The solver is exact and deterministic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Hashable, Iterable, Optional, Sequence
 
 __all__ = ["FluidFlow", "FluidAllocation", "max_min_fair"]

@@ -9,7 +9,7 @@ budget — all without a dedicated process per link: the channel keeps a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from ..sim import Simulator, TraceLog

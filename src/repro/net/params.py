@@ -18,7 +18,7 @@ node performs books seconds of CPU against it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["NetParams", "DEFAULT_PARAMS"]
 

@@ -12,13 +12,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from ..sim import Simulator, TraceLog
-from .flowtable import (
-    Action,
-    FlowTable,
-    PopMpls,
-    PushMpls,
-    SetField,
-)
+from .flowtable import FlowTable, PopMpls, PushMpls, SetField
 from .node import Node
 from .packet import Packet
 from .params import NetParams

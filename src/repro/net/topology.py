@@ -12,7 +12,7 @@ reproduces it exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Optional
 
 import networkx as nx
 

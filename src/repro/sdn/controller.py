@@ -10,7 +10,7 @@ Apps subclass :class:`ControllerApp` and override ``on_packet_in``.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Optional, Sequence
 
 from ..net.flowtable import FlowEntry, GroupEntry, Match, Output
 from ..net.network import Network
@@ -118,6 +118,31 @@ class Controller:
             self.network.params.packet_out_delay_s,
             lambda: sw.transmit(packet, out_port),
         )
+
+    # -- introspection / verification -----------------------------------------
+    def iter_rules(self):
+        """Yield ``(switch_name, FlowEntry)`` for every installed rule."""
+        for sw in self.network.switches():
+            for entry in sw.table.entries:
+                yield sw.name, entry
+
+    def iter_groups(self):
+        """Yield ``(switch_name, GroupEntry)`` for every installed group."""
+        for sw in self.network.switches():
+            for group in sw.table.groups.values():
+                yield sw.name, group
+
+    def verify(self):
+        """Statically verify the installed data plane.
+
+        If a Mimic Controller app is registered, its channel plans unlock
+        the MIC intent checks too.  Returns a
+        :class:`repro.analysis.VerificationReport`.
+        """
+        from ..analysis import verify_network
+
+        mic = next((app for app in self.apps if app.name == "mic"), None)
+        return verify_network(self.network, mic=mic)
 
     # -- helpers --------------------------------------------------------------
     def ports_along(self, path: Sequence[str]) -> list[tuple[str, int]]:

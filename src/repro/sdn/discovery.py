@@ -9,7 +9,6 @@ m-address plausibility restrictions are built on.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
 
 import networkx as nx
 
@@ -142,12 +141,22 @@ class TopologyView:
             guard += 1
             if guard > min_switches + 8:  # pragma: no cover - defensive
                 break
+            # A bounce inserts the directed edges walk[i]→t and t→walk[i].
+            # Neither may already be on the walk: rules match ⟨in_port,
+            # addresses⟩, and a repeated directed edge inside one segment
+            # would need two identical matches with different outputs — an
+            # unroutable (looping) configuration.
+            used_edges = set(zip(walk, walk[1:]))
             candidates = []
             for i in range(1, len(walk) - 1):
                 if self.topo.kind(walk[i]) != "switch":
                     continue
                 for t in self.graph.neighbors(walk[i]):
-                    if self.topo.kind(t) == "switch":
+                    if (
+                        self.topo.kind(t) == "switch"
+                        and (walk[i], t) not in used_edges
+                        and (t, walk[i]) not in used_edges
+                    ):
                         candidates.append((i, t))
             if not candidates:
                 raise ValueError(

@@ -11,10 +11,10 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..net.flowtable import FlowEntry, Match, Output
+from ..net.flowtable import Match
 from ..net.packet import Packet
 from ..net.switch import Switch
-from .controller import Controller, ControllerApp
+from .controller import ControllerApp
 
 __all__ = ["L3ShortestPathApp"]
 

@@ -10,7 +10,7 @@ replays the trace records emitted at that switch).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Iterator, Optional
+from typing import Any, Callable, Iterator, Optional
 
 __all__ = ["TraceRecord", "TraceLog"]
 

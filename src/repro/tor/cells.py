@@ -12,7 +12,7 @@ Control cells (CREATE/CREATED) are link-local; everything else travels as a
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any
 
 from ..net.addresses import IPv4Addr
 

@@ -16,10 +16,8 @@ values, which is what the traffic-analysis modules observe.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..crypto import DEFAULT_COSTS, CryptoCostModel
-from ..sim import Event
 from .tcp import TcpConnection, TcpError, TcpListener, TcpStack
 
 __all__ = ["SslConnection", "SslStack"]

@@ -21,7 +21,7 @@ steady state matches the fluid max-min solver (see
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..net.host import Host

@@ -10,10 +10,8 @@ server loops.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field
 
 from ..core.client import MicServer, MicStream
-from ..sim import Simulator
 
 __all__ = ["EchoService", "RpcService", "FileService", "rpc_call", "fetch_file"]
 

@@ -8,7 +8,7 @@ corresponding traffic mixes for the benches and examples.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional, Sequence
+from typing import Iterator, Sequence
 
 __all__ = ["FlowSpec", "poisson_arrivals", "pick_pairs", "dc_mix"]
 

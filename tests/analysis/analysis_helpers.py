@@ -1,0 +1,46 @@
+"""Shared scaffolding for the static-analysis tests."""
+
+import pytest
+
+from repro.core import MimicController
+from repro.net import Network, fat_tree
+from repro.sdn import Controller, L3ShortestPathApp
+
+
+def build(topo=None, seed=0, **mic_kw):
+    """A wired fabric: Network + SDN controller + MIC app + L3 app."""
+    net = Network(topo or fat_tree(4), seed=seed)
+    ctrl = Controller(net)
+    mic = ctrl.register(MimicController(**mic_kw))
+    ctrl.register(L3ShortestPathApp())
+    return net, ctrl, mic
+
+
+def run_proc(net, gen, until=30.0):
+    """Run one process generator to completion; returns its value."""
+    result = {}
+
+    def wrapper():
+        result["value"] = yield from gen
+        return result["value"]
+
+    net.sim.process(wrapper())
+    net.run(until=until)
+    return result.get("value")
+
+
+def establish_batch(net, mic, pairs, **kw):
+    """Establish one channel per (initiator, responder) pair, concurrently."""
+    failures = []
+
+    def one(a, b):
+        try:
+            yield from mic.establish(a, b, service_port=80, **kw)
+        except Exception as exc:
+            failures.append(f"{a}->{b}: {exc}")
+
+    for a, b in pairs:
+        net.sim.process(one(a, b))
+    net.run(until=60.0)
+    if failures:
+        pytest.fail("establishment failed: " + "; ".join(failures))

@@ -1,0 +1,97 @@
+"""Unit tests for the Match lattice operations and rule renderings."""
+
+from repro.net.addresses import IPv4Addr
+from repro.net.flowtable import (
+    Drop,
+    FlowEntry,
+    FlowTable,
+    GroupEntry,
+    Match,
+    Output,
+    SetField,
+)
+
+IP_A = IPv4Addr.parse("10.0.0.1")
+IP_B = IPv4Addr.parse("10.0.0.2")
+
+
+class TestIntersects:
+    def test_wildcard_intersects_everything(self):
+        assert Match().intersects(Match(ip_src=IP_A, sport=1))
+
+    def test_disjoint_on_one_field(self):
+        assert not Match(ip_src=IP_A).intersects(Match(ip_src=IP_B))
+
+    def test_different_fields_intersect(self):
+        assert Match(ip_src=IP_A).intersects(Match(ip_dst=IP_B))
+
+    def test_no_mpls_disjoint_from_label(self):
+        assert not Match(mpls=Match.NO_MPLS).intersects(Match(mpls=7))
+
+    def test_symmetric(self):
+        a, b = Match(ip_src=IP_A, sport=5), Match(ip_src=IP_A)
+        assert a.intersects(b) and b.intersects(a)
+
+
+class TestCovers:
+    def test_wildcard_covers_all(self):
+        assert Match().covers(Match(ip_src=IP_A, mpls=3))
+
+    def test_specific_does_not_cover_general(self):
+        assert not Match(ip_src=IP_A).covers(Match())
+
+    def test_equal_matches_cover_each_other(self):
+        a = Match(ip_src=IP_A, dport=80)
+        b = Match(ip_src=IP_A, dport=80)
+        assert a.covers(b) and b.covers(a)
+
+    def test_cover_implies_intersect(self):
+        general, specific = Match(ip_src=IP_A), Match(ip_src=IP_A, sport=9)
+        assert general.covers(specific)
+        assert general.intersects(specific)
+
+
+class TestRenderings:
+    def test_match_repr_lists_constrained_fields_only(self):
+        text = repr(Match(ip_src=IP_A, dport=80))
+        assert "ip_src=10.0.0.1" in text and "dport=80" in text
+        assert "eth_src" not in text
+
+    def test_match_repr_renders_no_mpls_sentinel(self):
+        assert "NO_MPLS" in repr(Match(mpls=Match.NO_MPLS))
+
+    def test_wildcard_match_repr(self):
+        assert repr(Match()) == "Match(*)"
+
+    def test_flow_entry_repr(self):
+        e = FlowEntry(
+            Match(ip_dst=IP_B),
+            [SetField("ip_dst", IP_A), Output(3)],
+            priority=50,
+            cookie=0xBEEF,
+        )
+        text = repr(e)
+        assert "prio=50" in text
+        assert "set ip_dst=10.0.0.1" in text
+        assert "output:3" in text
+        assert "0xbeef" in text
+
+    def test_group_entry_repr(self):
+        g = GroupEntry(group_id=4, buckets=[[Output(1)], [Drop()]])
+        text = repr(g)
+        assert "group 4" in text and "2 buckets" in text and "drop" in text
+
+
+class TestConflictingEntries:
+    def test_finds_intersecting_installed_rules(self):
+        table = FlowTable()
+        table.install(FlowEntry(Match(ip_src=IP_A), [Output(1)], priority=10))
+        table.install(FlowEntry(Match(ip_src=IP_B), [Output(2)], priority=10))
+        hits = table.conflicting_entries(Match(ip_src=IP_A, sport=4))
+        assert [e.match.ip_src for e in hits] == [IP_A]
+
+    def test_priority_filter(self):
+        table = FlowTable()
+        table.install(FlowEntry(Match(), [Output(1)], priority=10))
+        table.install(FlowEntry(Match(), [Output(2)], priority=50))
+        assert len(table.conflicting_entries(Match(), priority=50)) == 1

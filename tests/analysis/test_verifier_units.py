@@ -1,0 +1,217 @@
+"""Unit tests for the table-local and traversal layers of the verifier.
+
+Each test hand-builds a tiny fabric, installs a known-bad (or known-good)
+rule set directly into the switch tables, and asserts the verifier names
+the offending switch and rule.
+"""
+
+from repro.analysis import VerificationReport, verify_network
+from repro.analysis.verifier import match_key, verify_match_keys
+from repro.net import Network, linear
+from repro.net.addresses import IPv4Addr
+from repro.net.flowtable import (
+    Drop,
+    FlowEntry,
+    Group,
+    GroupEntry,
+    Match,
+    Output,
+    SetField,
+)
+from repro.net.topology import Topology
+
+IP_A = IPv4Addr.parse("10.9.0.1")
+IP_B = IPv4Addr.parse("10.9.0.2")
+IP_C = IPv4Addr.parse("10.9.0.3")
+
+
+def chain_net(n=2):
+    """A linear fabric with one host per switch and empty tables."""
+    return Network(linear(n, 1), seed=0)
+
+
+def ring_net():
+    """Three switches in a cycle, one host on s1 — loop-test playground."""
+    topo = Topology("ring3")
+    for i in (1, 2, 3):
+        topo.add_switch(f"s{i}")
+    topo.add_host("hA")
+    topo.add_link("hA", "s1")
+    topo.add_link("s1", "s2")
+    topo.add_link("s2", "s3")
+    topo.add_link("s3", "s1")
+    return Network(topo, seed=0)
+
+
+class TestTableLocal:
+    def test_clean_forwarding_pair_is_ok(self):
+        net = chain_net(2)
+        p = net.port("s1", "s2")
+        net.switch("s1").table.install(
+            FlowEntry(Match(ip_dst=IP_B), [Output(p)], priority=10)
+        )
+        net.switch("s2").table.install(
+            FlowEntry(
+                Match(ip_dst=IP_B), [Output(net.port("s2", "h2"))], priority=10
+            )
+        )
+        report = verify_network(net)
+        assert report.ok, report.format()
+
+    def test_shadowed_rule_detected(self):
+        net = chain_net(2)
+        table = net.switch("s1").table
+        table.install(FlowEntry(Match(), [Drop()], priority=60))
+        table.install(
+            FlowEntry(
+                Match(ip_dst=IP_B),
+                [Output(net.port("s1", "s2"))],
+                priority=10,
+            )
+        )
+        report = verify_network(net)
+        hits = report.by_kind("shadowed-rule")
+        assert hits and hits[0].switch == "s1"
+        assert "unreachable" in hits[0].message
+
+    def test_same_priority_overlap_detected(self):
+        net = chain_net(2)
+        table = net.switch("s1").table
+        p_fwd, p_host = net.port("s1", "s2"), net.port("s1", "h1")
+        table.install(
+            FlowEntry(Match(ip_src=IP_A), [Output(p_fwd)], priority=10)
+        )
+        table.install(
+            FlowEntry(Match(ip_dst=IP_B), [Output(p_host)], priority=10)
+        )
+        report = verify_network(net)
+        hits = report.by_kind("overlap")
+        assert hits and hits[0].switch == "s1"
+
+    def test_identical_redundant_rule_is_warning(self):
+        net = chain_net(2)
+        table = net.switch("s1").table
+        p = net.port("s1", "s2")
+        table.install(FlowEntry(Match(ip_dst=IP_B), [Output(p)], priority=10))
+        table.install(FlowEntry(Match(ip_dst=IP_B), [Output(p)], priority=10))
+        report = verify_network(net)
+        hits = report.by_kind("duplicate-rule")
+        assert hits and hits[0].severity == "warning"
+        assert not report.errors
+
+    def test_dangling_group_detected(self):
+        net = chain_net(2)
+        net.switch("s1").table.install(
+            FlowEntry(Match(ip_dst=IP_B), [Group(99)], priority=10)
+        )
+        report = verify_network(net)
+        assert report.by_kind("dangling-group")
+
+    def test_dangling_port_detected(self):
+        net = chain_net(2)
+        net.switch("s1").table.install(
+            FlowEntry(Match(ip_dst=IP_B), [Output(47)], priority=10)
+        )
+        report = verify_network(net)
+        hits = report.by_kind("dangling-port")
+        assert hits and "47" in hits[0].message
+
+    def test_group_bucket_dead_port_detected(self):
+        net = chain_net(2)
+        table = net.switch("s1").table
+        table.install_group(GroupEntry(group_id=1, buckets=[[Output(47)]]))
+        table.install(
+            FlowEntry(Match(ip_dst=IP_B), [Group(1)], priority=10)
+        )
+        report = verify_network(net)
+        assert report.by_kind("dangling-port")
+
+
+class TestForwardingLoops:
+    def test_port_level_loop_detected(self):
+        net = ring_net()
+        for a, b in (("s1", "s2"), ("s2", "s3"), ("s3", "s1")):
+            net.switch(a).table.install(
+                FlowEntry(
+                    Match(ip_dst=IP_C), [Output(net.port(a, b))], priority=10
+                )
+            )
+        report = verify_network(net)
+        assert report.by_kind("loop"), report.format()
+
+    def test_rewrite_loop_detected(self):
+        # s1 rewrites A→B, s2 rewrites B→A, s3 forwards — the header class
+        # returns to s1 as A.  Pure port-level analysis would miss this.
+        net = ring_net()
+        net.switch("s1").table.install(
+            FlowEntry(
+                Match(ip_dst=IP_A),
+                [SetField("ip_dst", IP_B), Output(net.port("s1", "s2"))],
+                priority=10,
+            )
+        )
+        net.switch("s2").table.install(
+            FlowEntry(
+                Match(ip_dst=IP_B),
+                [SetField("ip_dst", IP_A), Output(net.port("s2", "s3"))],
+                priority=10,
+            )
+        )
+        net.switch("s3").table.install(
+            FlowEntry(
+                Match(ip_dst=IP_A), [Output(net.port("s3", "s1"))], priority=10
+            )
+        )
+        report = verify_network(net)
+        hits = report.by_kind("loop")
+        assert hits, report.format()
+
+    def test_rewrite_chain_without_cycle_is_clean(self):
+        net = ring_net()
+        net.switch("s1").table.install(
+            FlowEntry(
+                Match(ip_dst=IP_A),
+                [SetField("ip_dst", IP_B), Output(net.port("s1", "s2"))],
+                priority=10,
+            )
+        )
+        net.switch("s2").table.install(
+            FlowEntry(Match(ip_dst=IP_B), [Drop()], priority=10)
+        )
+        report = verify_network(net)
+        assert not report.by_kind("loop"), report.format()
+
+
+class TestMatchKeys:
+    def _mic_entry(self, cookie, sport=1000):
+        match = Match(
+            ip_src=IP_A, ip_dst=IP_B, sport=sport, dport=80,
+            mpls=Match.NO_MPLS,
+        )
+        return FlowEntry(match, [Drop()], priority=50, cookie=cookie)
+
+    def test_two_cookies_sharing_a_key_flagged(self):
+        net = chain_net(2)
+        table = net.switch("s1").table
+        table.install(self._mic_entry(cookie=1))
+        table.install(self._mic_entry(cookie=2))
+        report = VerificationReport()
+        verify_match_keys(net, report, priorities=(50,))
+        hits = report.by_kind("duplicate-match-key")
+        assert hits and hits[0].switch == "s1"
+        assert "2 distinct flows" in hits[0].message
+
+    def test_same_cookie_twice_not_a_key_collision(self):
+        net = chain_net(2)
+        table = net.switch("s1").table
+        table.install(self._mic_entry(cookie=1))
+        table.install(self._mic_entry(cookie=1))
+        report = VerificationReport()
+        verify_match_keys(net, report, priorities=(50,))
+        assert not report.by_kind("duplicate-match-key")
+
+    def test_match_key_mirrors_registry_format(self):
+        m = Match(ip_src=IP_A, ip_dst=IP_B, sport=7, dport=8, mpls=Match.NO_MPLS)
+        assert match_key(m) == ("10.9.0.1", "10.9.0.2", None, 7, 8)
+        m2 = Match(ip_src=IP_A, ip_dst=IP_B, sport=7, dport=8, mpls=123)
+        assert match_key(m2)[2] == 123

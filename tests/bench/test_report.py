@@ -1,6 +1,5 @@
 """Tests for the markdown report generator and the CLI."""
 
-import pathlib
 
 import pytest
 

@@ -14,7 +14,6 @@ categories, per-MN disjoint label sets) prevents it on the live fabric.
 
 import itertools
 
-import pytest
 
 from repro.core import MIC_PRIORITY, CommonFlowTagger, MimicController
 from repro.net import Network, fat_tree

@@ -1,6 +1,5 @@
 """Tests for the one-call deployment facade and MC stats."""
 
-import pytest
 
 from repro.core import deploy_mic
 from repro.net import leaf_spine

@@ -7,7 +7,6 @@ surviving fabric with their entry/delivery addresses pinned, so endpoint
 transport connections survive transparently.
 """
 
-import pytest
 
 from repro.core import MicEndpoint, MicServer, MimicController, MIC_PRIORITY
 from repro.net import Network, fat_tree

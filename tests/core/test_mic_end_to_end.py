@@ -2,15 +2,8 @@
 
 import pytest
 
-from repro.core import (
-    MC_IP,
-    MicEndpoint,
-    MicError,
-    MicServer,
-    MimicController,
-    MIC_PRIORITY,
-)
-from repro.net import Network, fat_tree, linear
+from repro.core import MicEndpoint, MicServer, MimicController, MIC_PRIORITY
+from repro.net import Network, fat_tree
 from repro.sdn import Controller, L3ShortestPathApp
 
 

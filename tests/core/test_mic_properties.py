@@ -4,7 +4,6 @@ These run whole channels under randomized parameters and assert the
 paper's invariants hold for *every* configuration, not just the defaults.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core import MIC_PRIORITY, MicEndpoint, MicServer, MimicController

@@ -1,6 +1,5 @@
 """MIC across topologies, including the paper's Fig 2 walkthrough."""
 
-import pytest
 
 from repro.core import MicEndpoint, MicServer, MimicController
 from repro.net import Network, bcube, fat_tree, leaf_spine, linear

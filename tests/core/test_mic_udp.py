@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import MicDatagramServer, deploy_mic
-from repro.transport import Datagram, UdpSocket
+from repro.transport import UdpSocket
 
 
 @pytest.fixture()

@@ -1,6 +1,5 @@
 """Integration tests for the controller runtime and the baseline L3 app."""
 
-import pytest
 
 from repro.net import FlowEntry, Match, Network, Output, fat_tree, linear
 from repro.sdn import Controller, ControllerApp, L3ShortestPathApp

@@ -1,6 +1,5 @@
 """Integration tests for the SSL/TLS layer."""
 
-import pytest
 
 from repro.crypto import DEFAULT_COSTS
 from repro.net import Network, linear

@@ -6,7 +6,6 @@ from repro.net import Network, linear
 from repro.sdn import Controller, L3ShortestPathApp
 from repro.transport import TcpStack
 from repro.workloads import as_duplex, measure_echo, measure_transfer
-from repro.workloads.duplex import Duplex
 
 
 def tcp_pair():
