@@ -4,7 +4,7 @@ PYTHON ?= python
 # Same invocation the CI tier-1 gate uses (src/ layout, no install needed).
 PYPATH = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-verbose lint verify bench figures quick-figures examples clean
+.PHONY: install test test-verbose lint verify obs-demo bench figures quick-figures examples clean
 
 install:
 	pip install -e . --no-build-isolation || pip install -e .
@@ -24,6 +24,15 @@ lint:
 # Static data-plane verification: 32 concurrent m-flows on a 4-ary fat-tree.
 verify:
 	$(PYPATH) $(PYTHON) -m repro.analysis verify-network --flows 32
+
+# Observability demo: the traced example, exported and re-summarized
+# through the repro.obs pipeline.
+obs-demo:
+	@mkdir -p benchmarks/results
+	$(PYPATH) $(PYTHON) examples/trace_capture.py \
+		--metrics-json benchmarks/results/trace_capture_metrics.json
+	$(PYPATH) $(PYTHON) -m repro.obs summarize \
+		benchmarks/results/trace_capture_metrics.json
 
 bench:
 	$(PYPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -3,6 +3,11 @@
 Paper shape: Tor's telescoping setup grows with route length and dominates
 everything; MIC stays flat (one MC round trip regardless of MN count) and
 sits slightly above the TCP/SSL baselines.
+
+Measurement path: every number comes from the observability layer — the
+drivers record one ``bench.setup`` span per session and
+``fig7_route_setup`` reads them back via ``setup_from_spans`` (see
+docs/observability.md for the metric contract and a worked example).
 """
 
 from repro.bench import fig7_route_setup

@@ -2,6 +2,11 @@
 
 Paper shape: Tor is ~62× TCP; MIC-TCP is comparable with TCP; MIC-SSL is
 comparable with SSL.
+
+Measurement path: each trial's RTT is observed into the testbed's
+``app.echo_rtt_s`` histogram and the reported number is the mean of the
+aggregate ``repro.obs.Histogram`` over all trials (the same summary the
+metric exporters emit — see docs/observability.md).
 """
 
 from repro.bench import fig8_latency

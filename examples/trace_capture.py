@@ -6,15 +6,29 @@ message: at the first Mimic Node you can see the rewrite happen (ingress
 and egress addresses differ), and at a mid-path switch the addresses are
 pure fiction — real hosts, wrong story.
 
-Run:  python examples/trace_capture.py
+The run is observed (`repro.obs`): the closing report reads the channel
+setup time from the `mic.connect` span and per-MN rule hits from the
+metrics snapshot, and `--metrics-json PATH` exports the full snapshot
+(`make obs-demo` pipes it back through `python -m repro.obs summarize`).
+
+Run:  python examples/trace_capture.py [--metrics-json PATH]
 """
+
+import argparse
+from typing import Optional
 
 from repro.core import deploy_mic
 from repro.net.tracefmt import capture_at
+from repro.obs import write_json
 
 
-def main() -> None:
-    dep = deploy_mic(seed=13)
+def main(argv: Optional[list] = None) -> None:
+    ap = argparse.ArgumentParser(description="traced MIC channel capture")
+    ap.add_argument("--metrics-json", metavar="PATH",
+                    help="export the run's metrics snapshot as JSON")
+    args = ap.parse_args(argv)
+
+    dep = deploy_mic(seed=13, observe=True)
     server = dep.server("h16", 80)
     alice = dep.endpoint("h1")
 
@@ -50,6 +64,22 @@ def main() -> None:
         "\nreal endpoint visible in the mid-path capture together: "
         f"{any(real <= set(line.split()) for line in mid_lines.splitlines())}"
     )
+
+    # The same story in numbers, via the observability layer.
+    connect = dep.obs.spans.last("mic.connect")
+    snap = dep.obs.snapshot()
+    print(f"\nchannel setup (mic.connect span): {connect.duration_s * 1e3:.3f} ms")
+    for mn in plan.mn_names:
+        hits = snap.total("switch.rule.packets", switch=mn)
+        print(f"  rule hits at {mn}: {int(hits)} packets")
+    latency = snap.histogram("net.packet_latency_s", host="h16")
+    print(
+        f"packet latency into h16: n={int(latency['count'])} "
+        f"p50={latency['p50'] * 1e3:.3f} ms p99={latency['p99'] * 1e3:.3f} ms"
+    )
+    if args.metrics_json:
+        write_json(snap, args.metrics_json)
+        print(f"metrics snapshot written to {args.metrics_json}")
 
 
 if __name__ == "__main__":

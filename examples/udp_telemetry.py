@@ -6,6 +6,11 @@ reports to it, so its address maps the deployment.  Here agents on several
 hosts push UDP telemetry through mimic channels: the collector never learns
 who reports, and fabric observers never see agent→collector pairs.
 
+The run is observed (`repro.obs`): each agent wraps its datagram-channel
+setup in a `bench.setup` span and feeds every report's round trip into the
+`app.echo_rtt_s` histogram, so the closing report is real measurement, not
+print statements.
+
 Run:  python examples/udp_telemetry.py
 """
 
@@ -16,7 +21,7 @@ AGENTS = ["h1", "h4", "h6", "h10"]
 
 
 def main() -> None:
-    dep = deploy_mic(seed=31)
+    dep = deploy_mic(seed=31, observe=True)
     collector = MicDatagramServer(dep.net.host(COLLECTOR), 8125)
     reports: list[tuple[str, str]] = []
 
@@ -28,13 +33,18 @@ def main() -> None:
 
     def agent(host_name: str):
         endpoint = dep.endpoint(host_name)
+        span = dep.obs.begin_span("bench.setup", protocol="mic-udp")
         sock = yield from endpoint.connect_datagram(
             COLLECTOR, service_port=8125, n_mns=2
         )
+        span.finish(agent=host_name)
+        rtts = dep.obs.histogram("app.echo_rtt_s", protocol="mic-udp")
         for i in range(3):
+            t0 = dep.sim.now
             sock.send(f"cpu={40 + i}% host=REDACTED".encode())
             ack = yield sock.recv()
             assert ack.data == b"ack"
+            rtts.observe(dep.sim.now - t0)
             yield dep.sim.timeout(0.1)
 
     dep.sim.process(collector_loop())
@@ -48,8 +58,20 @@ def main() -> None:
     print("real agents:     ", sorted(real_ips.values()))
     leaked = {src for src, _ in reports} & set(real_ips.values())
     print(f"real agent addresses visible to the collector: {leaked or 'none'}")
+
+    setups = dep.obs.spans.durations("bench.setup", protocol="mic-udp")
+    rtt = dep.obs.snapshot().histogram("app.echo_rtt_s", protocol="mic-udp")
+    print(
+        f"datagram channel setup: mean {sum(setups) / len(setups) * 1e3:.2f} ms "
+        f"over {len(setups)} agents"
+    )
+    print(
+        f"report round trip: n={int(rtt['count'])} "
+        f"mean={rtt['mean'] * 1e3:.2f} ms p95={rtt['p95'] * 1e3:.2f} ms"
+    )
     assert len(reports) == 3 * len(AGENTS)
     assert not leaked
+    assert rtt["count"] == 3 * len(AGENTS)
 
 
 if __name__ == "__main__":

@@ -3,7 +3,9 @@
 ``python -m repro.analysis verify-network`` builds a fat-tree fabric,
 establishes a batch of concurrent mimic channels through the real
 controller stack, and statically verifies every installed rule — the
-acceptance gate for "N concurrent m-flows, zero violations".
+acceptance gate for "N concurrent m-flows, zero violations".  With
+``--metrics-out PATH`` the run also attaches a :class:`repro.obs.Observer`
+and writes its JSON metrics snapshot (the artifact CI archives).
 
 ``python -m repro.analysis lint`` runs the determinism lint
 (:mod:`repro.analysis.lint`).
@@ -48,6 +50,12 @@ def _cmd_verify_network(args: argparse.Namespace) -> int:
     mic = ctrl.register(MimicController())
     ctrl.register(L3ShortestPathApp())
 
+    obs = None
+    if args.metrics_out:
+        from ..obs import Observer
+
+        obs = Observer.attach(net, mic=mic, controller=ctrl)
+
     rng = random.Random(args.seed)
     n_channels = -(-args.flows // args.flows_per_channel)  # ceil div
     pairs = _cross_pod_pairs(net.topo, rng, n_channels)
@@ -67,6 +75,12 @@ def _cmd_verify_network(args: argparse.Namespace) -> int:
     for a, b in pairs:
         net.sim.process(establish(a, b))
     net.run(until=60.0)
+
+    if obs is not None:
+        from ..obs import write_json
+
+        write_json(obs.snapshot(), args.metrics_out)
+        print(f"metrics snapshot written to {args.metrics_out}")
 
     if failures:
         print("channel establishment failed:", file=sys.stderr)
@@ -115,6 +129,10 @@ def main(argv: Optional[list[str]] = None) -> int:
     verify.add_argument("--seed", type=int, default=0)
     verify.add_argument("--strict", action="store_true",
                         help="treat warnings as failures")
+    verify.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="attach an observer and write its JSON metrics snapshot here",
+    )
     verify.set_defaults(func=_cmd_verify_network)
 
     lint = sub.add_parser("lint", help="run the determinism lint")

@@ -39,6 +39,23 @@ def _wait_for(sim, holder: dict, key: str, step_s: float = 1e-5):
     return holder[key]
 
 
+def _record_setup(
+    bed: Testbed, protocol: str, start_s: float, end_s: float,
+    duration_s: Optional[float] = None,
+) -> None:
+    """Record a ``bench.setup`` span on the testbed's observer (if any).
+
+    The span carries the driver's own timing values, so span-derived setup
+    numbers are bit-identical to :attr:`Session.setup_s`.  ``duration_s``
+    overrides ``end - start`` for setups timed as disjoint windows
+    (MIC-SSL: MIC connect + TLS handshake, excluding the acceptor wait).
+    """
+    if bed.obs is not None:
+        bed.obs.spans.record(
+            "bench.setup", start_s, end_s, duration_s, protocol=protocol
+        )
+
+
 # ---------------------------------------------------------------------------
 def open_tcp(bed: Testbed, src: str, dst: str, port: int):
     """Process generator: plain TCP session (the baseline)."""
@@ -55,6 +72,7 @@ def open_tcp(bed: Testbed, src: str, dst: str, port: int):
     t0 = sim.now
     conn = yield client_stack.connect(bed.net.host(dst).ip, port)
     setup = sim.now - t0
+    _record_setup(bed, "tcp", t0, t0 + setup)
     server_conn = yield from _wait_for(sim, holder, "server")
     return Session("tcp", as_duplex(conn), as_duplex(server_conn), setup)
 
@@ -75,6 +93,7 @@ def open_ssl(bed: Testbed, src: str, dst: str, port: int):
     t0 = sim.now
     conn = yield from client_ssl.connect(bed.net.host(dst).ip, port)
     setup = sim.now - t0
+    _record_setup(bed, "ssl", t0, t0 + setup)
     server_conn = yield from _wait_for(sim, holder, "server")
     return Session("ssl", as_duplex(conn), as_duplex(server_conn), setup)
 
@@ -117,6 +136,7 @@ def open_mic(
     server_stream = yield from _wait_for(sim, holder, "server")
 
     if not over_ssl:
+        _record_setup(bed, "mic-tcp", t0, t0 + setup)
         return Session(
             "mic-tcp", as_duplex(stream), as_duplex(server_stream), setup,
             extra=endpoint,
@@ -136,6 +156,7 @@ def open_mic(
     yield from client_tls.handshake()
     yield from _wait_for(sim, tls_done, "server")
     setup += sim.now - t1
+    _record_setup(bed, "mic-ssl", t0, sim.now, duration_s=setup)
     return Session(
         "mic-ssl", as_duplex(client_tls), as_duplex(server_tls), setup,
         extra=endpoint,
@@ -171,5 +192,6 @@ def open_tor(
         bed.net.host(dst).ip, port, route=route, length=route_len
     )
     setup = sim.now - t0
+    _record_setup(bed, "tor", t0, t0 + setup)
     server_conn = yield from _wait_for(sim, holder, "server")
     return Session("tor", as_duplex(stream), as_duplex(server_conn), setup)

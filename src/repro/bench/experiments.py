@@ -11,8 +11,9 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from .drivers import Session, open_mic, open_ssl, open_tcp, open_tor
-from .harness import FigureResult, run_process
+from .harness import FigureResult, run_process, setup_from_spans
 from .testbed import Testbed
+from ..obs import Histogram
 from ..workloads.iperf import measure_echo, measure_transfer
 
 __all__ = [
@@ -37,6 +38,11 @@ def fig7_route_setup(
 
     Route length = #MNs for MIC, #relays for Tor; TCP and SSL have no route
     length and appear as flat baselines.
+
+    Every reported number is derived from the observability layer: the
+    drivers record one ``bench.setup`` span per session, and this function
+    reads those spans back (see docs/observability.md for the worked
+    example) — the table and the metrics export cannot disagree.
     """
     result = FigureResult(
         "Fig 7", "Route setup time vs route length",
@@ -45,26 +51,32 @@ def fig7_route_setup(
     port = 20000
     for n in route_lengths:
         port += 1
-        bed = Testbed.create(seed=seed + n)
-        s_tcp = run_process(bed.net, open_tcp(bed, CLIENT, SERVER, port))
-        s_ssl = run_process(bed.net, open_ssl(bed, CLIENT, SERVER, port + 1000))
-        s_mic = run_process(
+        bed = Testbed.create(seed=seed + n, observe=True)
+        run_process(bed.net, open_tcp(bed, CLIENT, SERVER, port))
+        run_process(bed.net, open_ssl(bed, CLIENT, SERVER, port + 1000))
+        run_process(
             bed.net, open_mic(bed, CLIENT, SERVER, port + 2000, n_mns=n)
         )
-        s_tor = run_process(
+        run_process(
             bed.net, open_tor(bed, CLIENT, SERVER, port + 3000, route_len=n)
         )
-        result.add("TCP", n, s_tcp.setup_s)
-        result.add("SSL", n, s_ssl.setup_s)
-        result.add("MIC", n, s_mic.setup_s)
-        result.add("Tor", n, s_tor.setup_s)
+        result.add("TCP", n, setup_from_spans(bed.obs, "tcp"))
+        result.add("SSL", n, setup_from_spans(bed.obs, "ssl"))
+        result.add("MIC", n, setup_from_spans(bed.obs, "mic-tcp"))
+        result.add("Tor", n, setup_from_spans(bed.obs, "tor"))
     return result
 
 
 # ---------------------------------------------------------------------------
 def fig8_latency(seed: int = 0, payload: int = 10, trials: int = 3) -> FigureResult:
     """Fig 8: 10-byte echo round-trip latency per protocol (established
-    sessions; route length 3 for MIC and Tor)."""
+    sessions; route length 3 for MIC and Tor).
+
+    Each trial's RTT lands in the testbed's ``app.echo_rtt_s`` histogram
+    and the reported per-protocol latency is the mean of an aggregate
+    :class:`~repro.obs.Histogram` over all trials — the same summary the
+    JSON/CSV/Prometheus exporters would emit for this metric.
+    """
     result = FigureResult(
         "Fig 8", "Echo latency (10 B round trip)",
         x_label="protocol", y_label="latency", unit="s",
@@ -79,16 +91,19 @@ def fig8_latency(seed: int = 0, payload: int = 10, trials: int = 3) -> FigureRes
         "Tor": lambda bed, port: open_tor(bed, CLIENT, SERVER, port, route_len=3),
     }
     for name, opener in openers.items():
-        rtts = []
+        aggregate = Histogram()
         for t in range(trials):
-            bed = Testbed.create(seed=seed + t)
+            bed = Testbed.create(seed=seed + t, observe=True)
             session = run_process(bed.net, opener(bed, 21000 + t))
             echo = run_process(
                 bed.net,
                 measure_echo(bed.net.sim, session.client, session.server, payload),
             )
-            rtts.append(echo.rtt_s)
-        result.add(name, "rtt", sum(rtts) / len(rtts))
+            bed.obs.histogram(
+                "app.echo_rtt_s", protocol=session.protocol
+            ).observe(echo.rtt_s)
+            aggregate.observe(echo.rtt_s)
+        result.add(name, "rtt", aggregate.mean)
     return result
 
 

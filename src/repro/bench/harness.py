@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["FigureResult", "run_process", "fmt_si"]
+__all__ = ["FigureResult", "run_process", "fmt_si", "setup_from_spans"]
 
 
 def run_process(net, gen, until: float = 600.0):
@@ -18,6 +18,20 @@ def run_process(net, gen, until: float = 600.0):
     net.run(until=proc)
     # Drain trailing events (acks, closes) without advancing past reason.
     return proc.value
+
+
+def setup_from_spans(obs, protocol: str) -> float:
+    """Mean ``bench.setup`` span duration for one protocol.
+
+    The canonical way a figure reproduction reads setup latency: the
+    drivers record a ``bench.setup`` span per session, so the reported
+    number and the observability export come from the same measurement.
+    Raises KeyError if no matching span was recorded.
+    """
+    durations = obs.spans.durations("bench.setup", protocol=protocol)
+    if not durations:
+        raise KeyError(f"no bench.setup span for protocol {protocol!r}")
+    return sum(durations) / len(durations)
 
 
 def fmt_si(value: float, unit: str) -> str:

@@ -12,6 +12,7 @@ from typing import Optional, Sequence
 
 from ..core import MicEndpoint, MicServer, MimicController
 from ..net import Network, NetParams, Topology, fat_tree
+from ..obs import Observer
 from ..sdn import Controller, L3ShortestPathApp
 from ..tor import TorClient, TorDirectory, TorRelay, TorRelayParams
 from ..transport import SslStack, TcpStack
@@ -35,6 +36,8 @@ class Testbed:
     l3: L3ShortestPathApp
     directory: TorDirectory
     relays: list[TorRelay]
+    #: attached observer when created with ``observe=True``, else None
+    obs: Optional[Observer] = None
 
     @classmethod
     def create(
@@ -46,11 +49,13 @@ class Testbed:
         pre_wire: bool = True,
         tor_params: Optional[TorRelayParams] = None,
         mic_kwargs: Optional[dict] = None,
+        observe: bool = False,
     ) -> "Testbed":
         net = Network(topo or fat_tree(4), params=params or NetParams(), seed=seed)
         ctrl = Controller(net)
         mic = ctrl.register(MimicController(**(mic_kwargs or {})))
         l3 = ctrl.register(L3ShortestPathApp())
+        obs = Observer.attach(net, mic=mic, controller=ctrl) if observe else None
         if pre_wire:
             l3.wire_all_pairs()
             net.run()  # let installs finish before any measurement
@@ -60,7 +65,7 @@ class Testbed:
             TorRelay(net.host(h), directory, params=relay_params)
             for h in relay_hosts
         ]
-        return cls(net, ctrl, mic, l3, directory, relays)
+        return cls(net, ctrl, mic, l3, directory, relays, obs=obs)
 
     # -- convenience constructors for protocol endpoints --------------------
     def tcp_stack(self, host_name: str) -> TcpStack:

@@ -26,6 +26,7 @@ from ..crypto import DEFAULT_COSTS, CryptoCostModel, seal, unseal
 from ..net.addresses import IPv4Addr
 from ..net.host import Host
 from ..net.packet import Packet
+from ..obs.spans import begin as begin_span
 from ..sim import Event, Store
 from ..transport.tcp import TcpConnection, TcpError, TcpStack
 from ..transport.udp import Datagram, UdpSocket
@@ -210,6 +211,10 @@ class MicEndpoint:
         if reuse and cache_key in self._cache:
             return self._cache[cache_key]
 
+        span = begin_span(
+            self.host.obs, "mic.connect",
+            initiator=self.host.name, responder=responder, n_mns=n_mns,
+        )
         grant = yield from self._request_channel(
             responder, service_port, n_flows, n_mns, decoys
         )
@@ -222,6 +227,7 @@ class MicEndpoint:
                 fg.entry_ip, fg.entry_port, local_port=fg.source_port
             )
             stream.add_conn(conn)
+        span.finish()
         if reuse:
             self._cache[cache_key] = stream
         if self.notify_interval_s is not None:

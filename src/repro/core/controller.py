@@ -36,6 +36,7 @@ from ..net.flowtable import (
 )
 from ..net.packet import Packet
 from ..net.switch import Switch
+from ..obs.spans import begin as begin_span
 from ..sdn.controller import Controller, ControllerApp
 from .channel import (
     ChannelGrant,
@@ -141,6 +142,8 @@ class MimicController(ControllerApp):
         self.channels: dict[int, MimicChannel] = {}
         self.requests_served = 0
         self.cpu_busy_s = 0.0  # MC-side compute accounting
+        #: optional attached repro.obs.Observer (control-plane spans)
+        self.obs = None
 
     # ------------------------------------------------------------------
     def attach(self, controller: Controller) -> None:
@@ -215,6 +218,7 @@ class MimicController(ControllerApp):
 
     def _serve_request(self, switch: Switch, packet: Packet, in_port: int):
         self.requests_served += 1
+        span = begin_span(self.obs, "mic.request")
         initiator_host = self._ip_to_host.get(packet.ip_src)
         if initiator_host is None:
             return
@@ -265,6 +269,7 @@ class MimicController(ControllerApp):
             payload_size=REPLY_WIRE_BYTES,
         )
         self.controller.packet_out(switch.name, out, in_port)
+        span.finish(kind=request.kind)
 
     # ------------------------------------------------------------------
     # Channel establishment (Sec IV-A1, IV-B2)
@@ -291,6 +296,11 @@ class MimicController(ControllerApp):
             raise EstablishError("initiator and responder are the same host")
 
         channel_id = next_channel_id()
+        establish_span = begin_span(
+            self.obs, "mic.establish",
+            channel=channel_id, initiator=initiator, responder=responder_host,
+            n_flows=n_flows, n_mns=n_mns,
+        )
         plans: list[MFlowPlan] = []
         try:
             for _ in range(n_flows):
@@ -298,12 +308,13 @@ class MimicController(ControllerApp):
                 # single flow can be torn down or repaired independently.
                 cookie = next(_cookie_ids)
                 owner = f"ch{channel_id}/c{cookie}"
-                plans.append(
-                    self._plan_flow(
-                        initiator, responder_host, responder_port, n_mns,
-                        cookie, owner, proto=proto,
-                    )
+                plan_span = begin_span(self.obs, "mic.plan_flow", channel=channel_id)
+                plan = self._plan_flow(
+                    initiator, responder_host, responder_port, n_mns,
+                    cookie, owner, proto=proto,
                 )
+                plan_span.finish(flow_id=plan.flow_id)
+                plans.append(plan)
         except Exception:
             for plan in plans:
                 self._release_flow(channel_id, plan)
@@ -321,6 +332,9 @@ class MimicController(ControllerApp):
             for sw_name, entry in rules + drops:
                 events.append(self.controller.install(sw_name, entry))
                 touched.add(sw_name)
+        install_span = begin_span(
+            self.obs, "mic.install_batch", channel=channel_id, installs=len(events)
+        )
         try:
             yield self.sim.all_of(events)
         except Exception as exc:
@@ -332,6 +346,7 @@ class MimicController(ControllerApp):
             for plan in plans:
                 self._release_flow(channel_id, plan)
             raise EstablishError(f"rule installation failed: {exc}") from exc
+        install_span.finish()
 
         channel = MimicChannel(
             channel_id=channel_id,
@@ -356,6 +371,7 @@ class MimicController(ControllerApp):
             n_flows=n_flows,
             n_mns=n_mns,
         )
+        establish_span.finish()
         return ChannelGrant(
             channel_id=channel_id,
             flows=tuple(

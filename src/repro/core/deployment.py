@@ -14,6 +14,7 @@ from typing import Optional
 from ..net.network import Network
 from ..net.params import NetParams
 from ..net.topology import Topology, fat_tree
+from ..obs import Observer
 from ..sdn.controller import Controller
 from ..sdn.l3app import L3ShortestPathApp
 from .client import MicEndpoint, MicServer
@@ -31,6 +32,8 @@ class MicDeployment:
     ctrl: Controller
     mic: MimicController
     l3: L3ShortestPathApp
+    #: attached observer when deployed with ``observe=True``, else None
+    obs: Optional[Observer] = None
 
     @property
     def sim(self):
@@ -72,18 +75,22 @@ def deploy_mic(
     params: Optional[NetParams] = None,
     pre_wire: bool = False,
     mic_kwargs: Optional[dict] = None,
+    observe: bool = False,
 ) -> MicDeployment:
     """Stand up a MIC-enabled network on ``topo`` (default: the paper's
     4-ary fat-tree).
 
     ``pre_wire=True`` proactively installs baseline routes for every host
     pair (no packet-ins later); otherwise the L3 app wires reactively.
+    ``observe=True`` attaches a :class:`repro.obs.Observer` before any
+    traffic runs; it is exposed as the deployment's ``obs`` field.
     """
     net = Network(topo or fat_tree(4), params=params or NetParams(), seed=seed)
     ctrl = Controller(net)
     mic = ctrl.register(MimicController(**(mic_kwargs or {})))
     l3 = ctrl.register(L3ShortestPathApp())
+    obs = Observer.attach(net, mic=mic, controller=ctrl) if observe else None
     if pre_wire:
         l3.wire_all_pairs()
         net.run()
-    return MicDeployment(net=net, ctrl=ctrl, mic=mic, l3=l3)
+    return MicDeployment(net=net, ctrl=ctrl, mic=mic, l3=l3, obs=obs)

@@ -225,6 +225,8 @@ class FlowEntry:
     entry_id: int = dc_field(default_factory=lambda: next(_entry_counter))
     packet_count: int = 0
     byte_count: int = 0
+    #: sim time of the most recent hit; -1.0 until the first packet matches
+    last_hit_s: float = -1.0
 
     def describe(self) -> str:
         """One-line rule rendering for traces and debugging."""

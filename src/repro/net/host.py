@@ -50,6 +50,8 @@ class Host(Node):
         self.bytes_sent = 0
         self.bytes_received = 0
         self._ephemeral_next = 49152
+        #: optional attached repro.obs.Observer (packet-latency histogram)
+        self.obs = None
 
     # -- L4 demux ------------------------------------------------------------
     def bind(self, proto: str, port: int, handler: L4Handler) -> None:
@@ -136,6 +138,8 @@ class Host(Node):
         self._book_stack_work(packet)
         self.packets_received += 1
         self.bytes_received += packet.size
+        if self.obs is not None:
+            self.obs.on_host_rx(self, packet)
         self.trace.emit(
             self.sim.now,
             "host.rx",

@@ -89,6 +89,7 @@ class Switch(Node):
             )
             self._punt(packet, in_port)
             return
+        entry.last_hit_s = self.sim.now
         if to_controller:
             self._punt(packet, in_port)
         for port, out_pkt in emissions:

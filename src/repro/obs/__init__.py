@@ -1,0 +1,45 @@
+"""Runtime observability: counters, histograms, spans, timeline, exporters.
+
+The one import most code needs is :class:`Observer`::
+
+    from repro.obs import Observer
+
+    obs = Observer.attach(net, mic=mc)     # hook hosts + MC
+    ...  # run the simulation
+    snap = obs.snapshot()                   # derive every counter/gauge
+    print(obs.summary())
+
+``docs/observability.md`` documents the full metrics contract; the contract
+itself lives in :mod:`repro.obs.contract` and is test-enforced against the
+doc.  See ``python -m repro.obs --help`` for the CLI.
+"""
+
+from .contract import CONTRACT, MetricSpec, contract_names, format_contract_table, spec
+from .exporters import to_csv, to_json, to_prometheus, write_json
+from .metrics import Histogram, MetricsSnapshot, Sample, labels_key
+from .observer import Observer
+from .spans import NULL_SPAN, Span, SpanLog, SpanRecord, begin
+from .timeline import MetricsTimeline
+
+__all__ = [
+    "Observer",
+    "MetricsSnapshot",
+    "MetricsTimeline",
+    "Histogram",
+    "Sample",
+    "SpanRecord",
+    "Span",
+    "SpanLog",
+    "NULL_SPAN",
+    "begin",
+    "labels_key",
+    "MetricSpec",
+    "CONTRACT",
+    "contract_names",
+    "spec",
+    "format_contract_table",
+    "to_json",
+    "to_csv",
+    "to_prometheus",
+    "write_json",
+]

@@ -1,0 +1,149 @@
+"""CLI for the observability layer.
+
+``python -m repro.obs contract`` prints the metrics contract table (the
+same markdown ``docs/observability.md`` embeds).
+
+``python -m repro.obs demo`` stands up a MIC deployment, runs an echo
+exchange with an observer attached, and prints the summary — optionally
+exporting the snapshot as JSON/CSV/Prometheus text.
+
+``python -m repro.obs summarize FILE`` re-summarizes a previously exported
+JSON snapshot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+from .contract import format_contract_table
+from .exporters import to_csv, to_json, to_prometheus
+
+
+def _cmd_contract(args: argparse.Namespace) -> int:
+    print(format_contract_table())
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from ..core import deploy_mic
+    from .observer import Observer
+
+    dep = deploy_mic(seed=args.seed)
+    obs = Observer.attach(dep.net, mic=dep.mic, controller=dep.ctrl)
+    if args.period > 0:
+        obs.start_timeline(args.period)
+
+    server = dep.server("h16", 80)
+    alice = dep.endpoint("h1")
+    message = b"x" * 400
+
+    def client():
+        span = obs.begin_span("bench.setup", protocol="mic-demo")
+        stream = yield from alice.connect("h16", service_port=80, n_mns=3)
+        span.finish()
+        t0 = dep.sim.now
+        stream.send(message)
+        yield from stream.recv_exactly(len(message))
+        obs.histogram("app.echo_rtt_s", protocol="mic-demo").observe(
+            dep.sim.now - t0
+        )
+
+    def srv():
+        stream = yield server.accept()
+        data = yield from stream.recv_exactly(len(message))
+        stream.send(data)
+
+    dep.sim.process(client())
+    dep.sim.process(srv())
+    dep.run_for(args.horizon)
+    obs.stop_timeline()
+
+    print(obs.summary())
+    snap = obs.snapshot()
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(to_json(snap) + "\n")
+        print(f"wrote JSON snapshot to {args.json}")
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as fh:
+            fh.write(to_csv(snap))
+        print(f"wrote CSV snapshot to {args.csv}")
+    if args.prom:
+        with open(args.prom, "w", encoding="utf-8") as fh:
+            fh.write(to_prometheus(snap))
+        print(f"wrote Prometheus snapshot to {args.prom}")
+    return 0
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    with open(args.file, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    print(f"snapshot @ t={doc['sim_time_s']:.6f}s")
+    print(f"  samples: {len(doc['samples'])}")
+    totals: dict[str, float] = {}
+    for s in doc["samples"]:
+        totals[s["name"]] = totals.get(s["name"], 0.0) + s["value"]
+    for name in sorted(totals):
+        print(f"    {name:<28s} total={totals[name]:g}")
+    for h in doc.get("histograms", []):
+        s = h["summary"]
+        labels = ",".join(f"{k}={v}" for k, v in h["labels"].items()) or "-"
+        print(
+            f"  histogram {h['name']} [{labels}] n={int(s['count'])} "
+            f"mean={s['mean']:.3e} p50={s['p50']:.3e} p95={s['p95']:.3e} "
+            f"p99={s['p99']:.3e}"
+        )
+    spans = doc.get("spans", [])
+    if spans:
+        by_name: dict[str, list[float]] = {}
+        for r in spans:
+            by_name.setdefault(r["name"], []).append(r["duration_s"])
+        for name in sorted(by_name):
+            durs = by_name[name]
+            print(
+                f"  span {name:<18s} n={len(durs)} "
+                f"mean={sum(durs) / len(durs):.3e}s total={sum(durs):.3e}s"
+            )
+    return 0
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Entry point for ``python -m repro.obs``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="observability: metrics contract, demo run, summaries",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    contract = sub.add_parser("contract", help="print the metrics contract table")
+    contract.set_defaults(func=_cmd_contract)
+
+    demo = sub.add_parser(
+        "demo", help="run an observed MIC echo exchange and print the summary"
+    )
+    demo.add_argument("--seed", type=int, default=13)
+    demo.add_argument("--horizon", type=float, default=10.0,
+                      help="sim-seconds to run (default 10)")
+    demo.add_argument("--period", type=float, default=0.05,
+                      help="timeline sampling period in sim-seconds; 0 disables")
+    demo.add_argument("--json", metavar="PATH", help="write JSON snapshot")
+    demo.add_argument("--csv", metavar="PATH", help="write CSV snapshot")
+    demo.add_argument("--prom", metavar="PATH",
+                      help="write Prometheus text snapshot")
+    demo.set_defaults(func=_cmd_demo)
+
+    summarize = sub.add_parser(
+        "summarize", help="summarize a previously exported JSON snapshot"
+    )
+    summarize.add_argument("file")
+    summarize.set_defaults(func=_cmd_summarize)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,220 @@
+"""The metrics contract: every observable name, typed and documented.
+
+This module is the single source of truth for what the observability layer
+exports.  ``docs/observability.md`` renders the same table for humans, and
+``tests/obs/test_contract.py`` diffs the two — a metric exists in the doc
+iff it exists here, and a snapshot may only emit names listed here.
+
+Conventions:
+
+* names are dotted, lower-case, and stable (``switch.rule.packets``);
+* ``seconds`` always means *simulated* seconds — the observability layer
+  never reads the wall clock;
+* counters are monotone within a run, gauges are instantaneous readings,
+  histograms accumulate observations (exported as count/sum/min/mean/
+  p50/p95/p99/max), spans are completed control-plane operations with
+  sim-time start/end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MetricSpec", "CONTRACT", "contract_names", "spec", "format_contract_table"]
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One contracted observable: its name, type, unit, and firing rule."""
+
+    name: str
+    type: str  # "counter" | "gauge" | "histogram" | "span"
+    unit: str
+    labels: tuple[str, ...]
+    fires: str  # when the value updates / the span is recorded
+
+
+CONTRACT: tuple[MetricSpec, ...] = (
+    # -- per-rule counters (OpenFlow flow-entry statistics) ----------------
+    MetricSpec(
+        "switch.rule.packets", "counter", "packets",
+        ("switch", "entry_id", "cookie", "priority"),
+        "a packet matches the flow entry (FlowTable.apply)",
+    ),
+    MetricSpec(
+        "switch.rule.bytes", "counter", "bytes",
+        ("switch", "entry_id", "cookie", "priority"),
+        "a packet matches the flow entry (FlowTable.apply)",
+    ),
+    MetricSpec(
+        "switch.rule.last_hit_s", "gauge", "seconds",
+        ("switch", "entry_id", "cookie", "priority"),
+        "a packet matches the flow entry; -1 until the first hit",
+    ),
+    # -- per-switch aggregates ---------------------------------------------
+    MetricSpec(
+        "switch.forwarded.packets", "counter", "packets", ("switch",),
+        "the switch emits a packet on an output port",
+    ),
+    MetricSpec(
+        "switch.punted.packets", "counter", "packets", ("switch",),
+        "a table miss punts a packet to the controller",
+    ),
+    MetricSpec(
+        "switch.table.entries", "gauge", "entries", ("switch",),
+        "sampled at snapshot time: installed flow entries",
+    ),
+    # -- per-port counters (OpenFlow port statistics, from link channels) --
+    MetricSpec(
+        "port.tx.packets", "counter", "packets", ("node", "port"),
+        "the port's transmit channel accepts a packet",
+    ),
+    MetricSpec(
+        "port.tx.bytes", "counter", "bytes", ("node", "port"),
+        "the port's transmit channel accepts a packet",
+    ),
+    MetricSpec(
+        "port.tx.drops", "counter", "packets", ("node", "port"),
+        "the transmit queue tail-drops (backlog over budget, or link down)",
+    ),
+    MetricSpec(
+        "port.rx.packets", "counter", "packets", ("node", "port"),
+        "the far end's transmitter accepts a packet toward this port "
+        "(in-flight packets are counted up to one queue delay early)",
+    ),
+    MetricSpec(
+        "port.rx.bytes", "counter", "bytes", ("node", "port"),
+        "the far end's transmitter accepts a packet toward this port",
+    ),
+    # -- host protocol-stack counters --------------------------------------
+    MetricSpec(
+        "host.stack.tx.packets", "counter", "packets", ("host",),
+        "the host pushes a packet into its protocol stack",
+    ),
+    MetricSpec(
+        "host.stack.tx.bytes", "counter", "bytes", ("host",),
+        "the host pushes a packet into its protocol stack",
+    ),
+    MetricSpec(
+        "host.stack.rx.packets", "counter", "packets", ("host",),
+        "the host NIC accepts a delivered packet addressed to it",
+    ),
+    MetricSpec(
+        "host.stack.rx.bytes", "counter", "bytes", ("host",),
+        "the host NIC accepts a delivered packet addressed to it",
+    ),
+    # -- link gauges --------------------------------------------------------
+    MetricSpec(
+        "link.queue.bytes", "gauge", "bytes", ("channel",),
+        "sampled at snapshot time: transmit backlog of the directed channel",
+    ),
+    MetricSpec(
+        "link.queue.capacity.bytes", "gauge", "bytes", ("channel",),
+        "sampled at snapshot time: the channel's tail-drop budget",
+    ),
+    # -- node CPU -----------------------------------------------------------
+    MetricSpec(
+        "node.cpu.busy_s", "gauge", "seconds", ("node",),
+        "sampled at snapshot time: CPU-seconds booked since the last meter reset",
+    ),
+    # -- controller / MC ----------------------------------------------------
+    MetricSpec(
+        "ctrl.packet_in.count", "counter", "packets", (),
+        "a switch punts a packet to the controller runtime",
+    ),
+    MetricSpec(
+        "ctrl.flow_mods.sent", "counter", "messages", (),
+        "the controller sends a flow-mod to a switch",
+    ),
+    MetricSpec(
+        "mic.requests.served", "counter", "requests", (),
+        "the MC starts serving a control request (establish/shutdown/notify)",
+    ),
+    MetricSpec(
+        "mic.channels.live", "gauge", "channels", (),
+        "sampled at snapshot time: open mimic channels",
+    ),
+    MetricSpec(
+        "mic.flows.live", "gauge", "flows", (),
+        "sampled at snapshot time: live m-flow IDs",
+    ),
+    MetricSpec(
+        "mic.rules.installed", "gauge", "entries", (),
+        "sampled at snapshot time: MIC rules (incl. decoy drops) across all switches",
+    ),
+    MetricSpec(
+        "mic.cpu.busy_s", "gauge", "seconds", (),
+        "sampled at snapshot time: MC-side compute booked since the last reset",
+    ),
+    # -- histograms ---------------------------------------------------------
+    MetricSpec(
+        "net.packet_latency_s", "histogram", "seconds", ("host",),
+        "a host NIC accepts a packet; observes now - packet.created_at "
+        "(only while an Observer is attached)",
+    ),
+    MetricSpec(
+        "app.echo_rtt_s", "histogram", "seconds", ("protocol",),
+        "a benchmark or example records one application-level echo round trip",
+    ),
+    MetricSpec(
+        "link.queue_sample.bytes", "histogram", "bytes", ("channel",),
+        "the timeline samples a channel's transmit backlog (each period)",
+    ),
+    MetricSpec(
+        "link.utilization", "histogram", "fraction", ("channel",),
+        "the timeline closes a sampling period: bytes sent over capacity",
+    ),
+    # -- spans --------------------------------------------------------------
+    MetricSpec(
+        "mic.connect", "span", "seconds", ("initiator", "responder", "n_mns"),
+        "MicEndpoint.connect returns a stream (client-observed channel setup)",
+    ),
+    MetricSpec(
+        "mic.request", "span", "seconds", ("kind",),
+        "the MC finishes serving one control request, decrypt through reply",
+    ),
+    MetricSpec(
+        "mic.establish", "span", "seconds",
+        ("channel", "initiator", "responder", "n_flows", "n_mns"),
+        "the MC grants a channel: planning plus rule installation",
+    ),
+    MetricSpec(
+        "mic.plan_flow", "span", "seconds", ("channel", "flow_id"),
+        "the MC plans one m-flow: routing calculation and MAGA address draws",
+    ),
+    MetricSpec(
+        "mic.install_batch", "span", "seconds", ("channel", "installs"),
+        "a channel's flow-mod/group-mod batch is fully installed",
+    ),
+    MetricSpec(
+        "bench.setup", "span", "seconds", ("protocol",),
+        "a bench driver finishes protocol session setup (duration excludes "
+        "untimed acceptor waits, so it can differ from end - start)",
+    ),
+)
+
+_BY_NAME = {m.name: m for m in CONTRACT}
+
+
+def contract_names() -> set[str]:
+    """The set of every contracted metric/span name."""
+    return set(_BY_NAME)
+
+
+def spec(name: str) -> MetricSpec:
+    """The spec for a contracted name (KeyError if not contracted)."""
+    return _BY_NAME[name]
+
+
+def format_contract_table() -> str:
+    """Render the contract as the markdown table docs/observability.md embeds."""
+    lines = [
+        "| name | type | unit | labels | fires when |",
+        "|---|---|---|---|---|",
+    ]
+    for m in CONTRACT:
+        labels = ", ".join(m.labels) if m.labels else "—"
+        lines.append(
+            f"| `{m.name}` | {m.type} | {m.unit} | {labels} | {m.fires} |"
+        )
+    return "\n".join(lines)

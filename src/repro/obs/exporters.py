@@ -1,0 +1,125 @@
+"""Snapshot exporters: JSON, CSV, and Prometheus text format.
+
+All three serialize a :class:`~repro.obs.MetricsSnapshot`:
+
+* **JSON** — the full snapshot (samples, histogram summaries, spans) as one
+  document; the format CI archives and ``repro.analysis --metrics-out``
+  writes.
+* **CSV** — flat rows ``kind,name,labels,field,value`` for spreadsheet
+  ingestion.
+* **Prometheus** — the text exposition format (``# TYPE`` lines from the
+  contract, dots mapped to underscores, histogram summaries as ``_count`` /
+  ``_sum`` and quantile-labeled gauges).  Spans are not exported here;
+  Prometheus has no span type.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any
+
+from .contract import _BY_NAME
+from .metrics import MetricsSnapshot
+
+__all__ = ["to_json", "to_csv", "to_prometheus", "write_json"]
+
+
+def _labels_dict(key: tuple[tuple[str, str], ...]) -> dict[str, str]:
+    return {k: v for k, v in key}
+
+
+def to_json(snap: MetricsSnapshot, indent: int = 2) -> str:
+    """The snapshot as one JSON document."""
+    doc: dict[str, Any] = {
+        "sim_time_s": snap.sim_time_s,
+        "samples": [
+            {"name": s.name, "labels": _labels_dict(s.labels), "value": s.value}
+            for s in snap.samples
+        ],
+        "histograms": [
+            {"name": name, "labels": _labels_dict(key), "summary": summary}
+            for (name, key), summary in sorted(snap.histograms.items())
+        ],
+        "spans": [
+            {
+                "name": r.name,
+                "start_s": r.start_s,
+                "end_s": r.end_s,
+                "duration_s": r.duration_s,
+                "labels": _labels_dict(r.labels),
+            }
+            for r in snap.spans
+        ],
+    }
+    return json.dumps(doc, indent=indent, sort_keys=False)
+
+
+def write_json(snap: MetricsSnapshot, path: str) -> None:
+    """Write :func:`to_json` output to a file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(to_json(snap))
+        fh.write("\n")
+
+
+def to_csv(snap: MetricsSnapshot) -> str:
+    """Flat CSV rows: ``kind,name,labels,field,value``."""
+    lines = ["kind,name,labels,field,value"]
+
+    def _labels_txt(key: tuple[tuple[str, str], ...]) -> str:
+        return ";".join(f"{k}={v}" for k, v in key)
+
+    for s in snap.samples:
+        kind = _BY_NAME[s.name].type if s.name in _BY_NAME else "gauge"
+        lines.append(f'{kind},{s.name},"{_labels_txt(s.labels)}",value,{s.value:g}')
+    for (name, key), summary in sorted(snap.histograms.items()):
+        for field, value in summary.items():
+            lines.append(f'histogram,{name},"{_labels_txt(key)}",{field},{value:g}')
+    for r in snap.spans:
+        lines.append(
+            f'span,{r.name},"{_labels_txt(r.labels)}",duration_s,{r.duration_s:g}'
+        )
+    return "\n".join(lines) + "\n"
+
+
+def _prom_name(name: str) -> str:
+    return name.replace(".", "_").replace("-", "_")
+
+
+def _prom_labels(key: tuple[tuple[str, str], ...], extra: dict[str, str] = {}) -> str:
+    items = list(key) + list(extra.items())
+    if not items:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in items)
+    return "{" + body + "}"
+
+
+def to_prometheus(snap: MetricsSnapshot) -> str:
+    """The snapshot in the Prometheus text exposition format."""
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def _type_line(name: str, prom_type: str) -> None:
+        prom = _prom_name(name)
+        if prom not in typed:
+            typed.add(prom)
+            spec = _BY_NAME.get(name)
+            if spec is not None:
+                lines.append(f"# HELP {prom} {spec.fires}")
+            lines.append(f"# TYPE {prom} {prom_type}")
+
+    for s in snap.samples:
+        spec = _BY_NAME.get(s.name)
+        prom_type = "counter" if spec is not None and spec.type == "counter" else "gauge"
+        _type_line(s.name, prom_type)
+        lines.append(f"{_prom_name(s.name)}{_prom_labels(s.labels)} {s.value:g}")
+    for (name, key), summary in sorted(snap.histograms.items()):
+        prom = _prom_name(name)
+        _type_line(name, "summary")
+        for q in ("p50", "p95", "p99"):
+            quantile = str(int(q[1:]) / 100)
+            lines.append(
+                f"{prom}{_prom_labels(key, {'quantile': quantile})} {summary[q]:g}"
+            )
+        lines.append(f"{prom}_sum{_prom_labels(key)} {summary['sum']:g}")
+        lines.append(f"{prom}_count{_prom_labels(key)} {summary['count']:g}")
+    return "\n".join(lines) + "\n"

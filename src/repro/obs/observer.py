@@ -1,0 +1,225 @@
+"""The :class:`Observer`: one attachment point for a run's observability.
+
+An observer binds to a live :class:`~repro.net.Network` (and optionally the
+MIC control application) and provides:
+
+* ``snapshot()`` — derive every contracted counter/gauge from the live
+  simulation objects (flow entries, link channels, host/switch tallies),
+* histograms — accumulated observations (packet latency, echo RTTs,
+  timeline queue samples) with exact percentiles,
+* spans — completed control-plane operations via :meth:`begin_span`,
+* a :class:`~repro.obs.timeline.MetricsTimeline` for periodic sampling.
+
+Observation is opt-in and cost-free when absent: counters and gauges are
+*read* at snapshot time from tallies the simulation keeps anyway, and the
+only hot-path hooks (``host.obs``, controller/MC spans) are single
+``is None`` checks that schedule nothing, trace nothing, and never touch an
+RNG — an observed run's trace is byte-identical to an unobserved one.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterator, Optional
+
+from .metrics import Histogram, MetricsSnapshot, labels_key
+from .spans import Span, SpanLog
+from .timeline import MetricsTimeline
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.controller import MimicController
+    from ..net.host import Host
+    from ..net.link import Channel
+    from ..net.network import Network
+    from ..net.packet import Packet
+    from ..sdn.controller import Controller
+
+__all__ = ["Observer"]
+
+
+class Observer:
+    """A run's metrics hub: snapshots, histograms, spans, timeline."""
+
+    def __init__(
+        self,
+        net: "Network",
+        mic: Optional["MimicController"] = None,
+        controller: Optional["Controller"] = None,
+    ):
+        self.net = net
+        self.sim = net.sim
+        self.mic = mic
+        if controller is None and mic is not None:
+            controller = getattr(mic, "controller", None)
+        self.controller = controller
+        self.spans = SpanLog()
+        self._histograms: dict[tuple[str, tuple[tuple[str, str], ...]], Histogram] = {}
+        self.timeline: Optional[MetricsTimeline] = None
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def attach(
+        cls,
+        net: "Network",
+        mic: Optional["MimicController"] = None,
+        controller: Optional["Controller"] = None,
+    ) -> "Observer":
+        """Create an observer and wire it into the run's hook points.
+
+        Sets ``host.obs`` on every host (packet-latency observations) and
+        ``mic.obs`` on the MIC app (control-plane spans).
+        """
+        obs = cls(net, mic=mic, controller=controller)
+        for host in net.hosts():
+            host.obs = obs
+        if mic is not None:
+            mic.obs = obs
+        return obs
+
+    def detach(self) -> None:
+        """Unhook from the network and MC (observation stops immediately)."""
+        for host in self.net.hosts():
+            if getattr(host, "obs", None) is self:
+                host.obs = None
+        if self.mic is not None and getattr(self.mic, "obs", None) is self:
+            self.mic.obs = None
+        self.stop_timeline()
+
+    # -- histograms ---------------------------------------------------------
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        """The accumulating histogram for (name, labels), created on demand."""
+        key = (name, labels_key(labels))
+        hist = self._histograms.get(key)
+        if hist is None:
+            hist = self._histograms[key] = Histogram()
+        return hist
+
+    # -- spans --------------------------------------------------------------
+    def begin_span(self, name: str, **labels: Any) -> Span:
+        """Open a span starting now; call ``finish()`` on it to record."""
+        return Span(self.spans, self.sim, name, labels)
+
+    # -- hot-path hooks -----------------------------------------------------
+    def on_host_rx(self, host: "Host", packet: "Packet") -> None:
+        """Observe one delivered packet's source-to-sink latency."""
+        created = getattr(packet, "created_at", None)
+        if created is not None:
+            self.histogram("net.packet_latency_s", host=host.name).observe(
+                self.sim.now - created
+            )
+
+    # -- timeline -----------------------------------------------------------
+    def start_timeline(self, period_s: float) -> MetricsTimeline:
+        """Start (or return the already-running) periodic gauge sampler."""
+        if self.timeline is None:
+            self.timeline = MetricsTimeline(self, period_s)
+        self.timeline.start()
+        return self.timeline
+
+    def stop_timeline(self) -> None:
+        """Stop the periodic sampler if one is running."""
+        if self.timeline is not None:
+            self.timeline.stop()
+
+    def channels(self) -> Iterator["Channel"]:
+        """Every directed link channel in the network, stable order."""
+        for link in self.net.links:
+            yield link.forward
+            yield link.reverse
+
+    # -- snapshot -----------------------------------------------------------
+    def snapshot(self) -> MetricsSnapshot:
+        """Derive every contracted counter/gauge from the live objects."""
+        snap = MetricsSnapshot(sim_time_s=self.sim.now)
+        self._snapshot_switches(snap)
+        self._snapshot_ports(snap)
+        self._snapshot_hosts(snap)
+        self._snapshot_nodes(snap)
+        self._snapshot_control(snap)
+        for (name, key), hist in sorted(self._histograms.items()):
+            snap.histograms[(name, key)] = hist.summary()
+        snap.spans = list(self.spans)
+        return snap
+
+    def _snapshot_switches(self, snap: MetricsSnapshot) -> None:
+        for sw in self.net.switches():
+            entries = sw.table.entries
+            snap.add("switch.table.entries", len(entries), switch=sw.name)
+            snap.add("switch.forwarded.packets", sw.packets_forwarded, switch=sw.name)
+            snap.add("switch.punted.packets", sw.packets_punted, switch=sw.name)
+            for e in entries:
+                labels = dict(
+                    switch=sw.name, entry_id=e.entry_id,
+                    cookie=e.cookie, priority=e.priority,
+                )
+                snap.add("switch.rule.packets", e.packet_count, **labels)
+                snap.add("switch.rule.bytes", e.byte_count, **labels)
+                snap.add("switch.rule.last_hit_s", e.last_hit_s, **labels)
+
+    def _snapshot_ports(self, snap: MetricsSnapshot) -> None:
+        # Port counters come from the directed channels: a channel's stats
+        # are tx at its source port and rx at its destination port.  The rx
+        # reading counts packets the far end has accepted for transmission,
+        # so in-flight packets appear up to one queue-plus-propagation delay
+        # early; at run completion (drained event heap) tx == rx exactly.
+        for ch in self.channels():
+            snap.add("port.tx.packets", ch.stats.packets, node=ch.src.name, port=ch.src_port)
+            snap.add("port.tx.bytes", ch.stats.bytes, node=ch.src.name, port=ch.src_port)
+            snap.add("port.tx.drops", ch.stats.drops, node=ch.src.name, port=ch.src_port)
+            snap.add("port.rx.packets", ch.stats.packets, node=ch.dst.name, port=ch.dst_port)
+            snap.add("port.rx.bytes", ch.stats.bytes, node=ch.dst.name, port=ch.dst_port)
+            snap.add("link.queue.bytes", ch.backlog_bytes(), channel=ch.name)
+            snap.add("link.queue.capacity.bytes", ch.queue_bytes, channel=ch.name)
+
+    def _snapshot_hosts(self, snap: MetricsSnapshot) -> None:
+        for host in self.net.hosts():
+            snap.add("host.stack.tx.packets", host.packets_sent, host=host.name)
+            snap.add("host.stack.tx.bytes", host.bytes_sent, host=host.name)
+            snap.add("host.stack.rx.packets", host.packets_received, host=host.name)
+            snap.add("host.stack.rx.bytes", host.bytes_received, host=host.name)
+
+    def _snapshot_nodes(self, snap: MetricsSnapshot) -> None:
+        for name, node in sorted(self.net.nodes.items()):
+            snap.add("node.cpu.busy_s", node.cpu.busy_s, node=name)
+
+    def _snapshot_control(self, snap: MetricsSnapshot) -> None:
+        if self.controller is not None:
+            snap.add("ctrl.packet_in.count", self.controller.packet_in_count)
+            snap.add("ctrl.flow_mods.sent", self.controller.flow_mods_sent)
+        if self.mic is not None:
+            snap.add("mic.requests.served", self.mic.requests_served)
+            snap.add("mic.channels.live", self.mic.live_channels)
+            snap.add("mic.flows.live", self.mic.flow_ids.live_count)
+            snap.add("mic.rules.installed", sum(self.mic.rule_footprint().values()))
+            snap.add("mic.cpu.busy_s", self.mic.cpu_busy_s)
+
+    # -- reporting ----------------------------------------------------------
+    def summary(self) -> str:
+        """A human-readable run summary (counters, percentiles, spans)."""
+        snap = self.snapshot()
+        lines = [f"observability summary @ t={snap.sim_time_s:.6f}s"]
+        lines.append(f"  counters/gauges: {len(snap.samples)} samples")
+        for name in ("switch.forwarded.packets", "switch.punted.packets",
+                     "port.tx.drops", "host.stack.rx.packets"):
+            total = snap.total(name)
+            lines.append(f"    {name:<28s} total={total:g}")
+        if snap.histograms:
+            lines.append("  histograms:")
+            for (name, key), s in sorted(snap.histograms.items()):
+                label_txt = ",".join(f"{k}={v}" for k, v in key) or "-"
+                lines.append(
+                    f"    {name} [{label_txt}] n={int(s['count'])} "
+                    f"mean={s['mean']:.3e} p50={s['p50']:.3e} "
+                    f"p95={s['p95']:.3e} p99={s['p99']:.3e}"
+                )
+        if len(self.spans):
+            lines.append("  spans:")
+            by_name: dict[str, list[float]] = {}
+            for rec in self.spans:
+                by_name.setdefault(rec.name, []).append(rec.duration_s)
+            for name, durs in sorted(by_name.items()):
+                mean = sum(durs) / len(durs)
+                lines.append(
+                    f"    {name:<18s} n={len(durs)} mean={mean:.3e}s "
+                    f"total={sum(durs):.3e}s"
+                )
+        return "\n".join(lines)

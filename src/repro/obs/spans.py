@@ -1,0 +1,145 @@
+"""Span-style tracing for control-plane operations.
+
+A span is one completed operation with sim-time ``start``/``end`` and a
+free-form label set — channel setup, a planning pass, a rule-install batch.
+Spans are recorded on *finish*: an operation that raises before finishing
+leaves nothing behind (the record would be a lie about a duration that
+never completed).
+
+Instrumented code never checks whether observation is enabled — it asks
+:func:`begin` for a span and calls ``finish()``; with no observer attached
+it gets :data:`NULL_SPAN`, whose methods do nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+__all__ = ["SpanRecord", "Span", "SpanLog", "NULL_SPAN", "begin"]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed operation: ``[start_s, end_s]`` plus labels.
+
+    ``duration_s`` usually equals ``end_s - start_s``; drivers that time a
+    sum of disjoint windows (e.g. MIC-SSL setup = MIC connect + TLS
+    handshake, excluding the untimed acceptor wait between them) may record
+    a smaller duration.
+    """
+
+    name: str
+    start_s: float
+    end_s: float
+    duration_s: float
+    labels: tuple[tuple[str, str], ...]
+
+    def label(self, key: str) -> Optional[str]:
+        """One label's value, or None."""
+        for k, v in self.labels:
+            if k == key:
+                return v
+        return None
+
+
+class Span:
+    """An in-flight operation; call :meth:`finish` to record it."""
+
+    __slots__ = ("_log", "_sim", "name", "start_s", "_labels")
+
+    def __init__(self, log: "SpanLog", sim, name: str, labels: dict[str, Any]):
+        self._log = log
+        self._sim = sim
+        self.name = name
+        self.start_s = sim.now
+        self._labels = labels
+
+    def finish(self, **extra: Any) -> None:
+        """Record the span, ending now; ``extra`` labels are merged in."""
+        self._log.record(
+            self.name, self.start_s, self._sim.now, **{**self._labels, **extra}
+        )
+
+
+class _NullSpan:
+    """The do-nothing span handed out when no observer is attached."""
+
+    __slots__ = ()
+
+    def finish(self, **extra: Any) -> None:
+        """Ignore the finish (observation is disabled)."""
+
+
+#: shared no-op span — begin() returns this when the observer is None
+NULL_SPAN = _NullSpan()
+
+
+class SpanLog:
+    """Append-only store of completed spans."""
+
+    def __init__(self) -> None:
+        self.records: list[SpanRecord] = []
+
+    def record(
+        self,
+        name: str,
+        start_s: float,
+        end_s: float,
+        duration_s: Optional[float] = None,
+        **labels: Any,
+    ) -> SpanRecord:
+        """Append one completed span (duration defaults to end - start)."""
+        rec = SpanRecord(
+            name=name,
+            start_s=start_s,
+            end_s=end_s,
+            duration_s=(end_s - start_s) if duration_s is None else duration_s,
+            labels=tuple(sorted((k, str(v)) for k, v in labels.items())),
+        )
+        self.records.append(rec)
+        return rec
+
+    # -- queries ----------------------------------------------------------
+    def by_name(self, name: str, **criteria: Any) -> list[SpanRecord]:
+        """All spans with a name whose labels match the criteria."""
+        want = {k: str(v) for k, v in criteria.items()}
+        return [
+            r
+            for r in self.records
+            if r.name == name
+            and all(r.label(k) == v for k, v in want.items())
+        ]
+
+    def last(self, name: str, **criteria: Any) -> SpanRecord:
+        """The most recently recorded matching span (KeyError if none)."""
+        found = self.by_name(name, **criteria)
+        if not found:
+            raise KeyError(f"no span {name!r} matching {criteria}")
+        return found[-1]
+
+    def durations(self, name: str, **criteria: Any) -> list[float]:
+        """Durations of every matching span, in record order."""
+        return [r.duration_s for r in self.by_name(name, **criteria)]
+
+    def total(self, name: str, **criteria: Any) -> float:
+        """Summed duration over matching spans."""
+        return sum(self.durations(name, **criteria))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+
+def begin(observer, name: str, **labels: Any):
+    """Open a span on ``observer`` (or :data:`NULL_SPAN` if it is None).
+
+    The one call instrumented code makes: ``span = begin(self.obs, ...)``
+    followed by ``span.finish()`` — no enabled/disabled branching at the
+    call site beyond this helper's None check.
+    """
+    if observer is None:
+        return NULL_SPAN
+    return Span(observer.spans, observer.sim, name, labels)

@@ -1,0 +1,62 @@
+"""The ``python -m repro.obs`` CLI: contract, demo, summarize."""
+
+import json
+
+import pytest
+
+from repro.obs import contract_names, format_contract_table
+from repro.obs.__main__ import main
+
+
+def test_contract_prints_the_table(capsys):
+    assert main(["contract"]) == 0
+    out = capsys.readouterr().out
+    assert out.strip() == format_contract_table()
+
+
+@pytest.fixture(scope="module")
+def demo_exports(tmp_path_factory):
+    """One demo run exporting all three formats (shared across tests)."""
+    d = tmp_path_factory.mktemp("obs-cli")
+    paths = {k: str(d / f"snap.{k}") for k in ("json", "csv", "prom")}
+    rc = main([
+        "demo", "--horizon", "2", "--period", "0",
+        "--json", paths["json"], "--csv", paths["csv"], "--prom", paths["prom"],
+    ])
+    assert rc == 0
+    return paths
+
+
+def test_demo_prints_summary(capsys, demo_exports):
+    main(["demo", "--horizon", "2", "--period", "0"])
+    out = capsys.readouterr().out
+    assert "observability summary @" in out
+    assert "app.echo_rtt_s" in out
+    assert "mic.establish" in out
+
+
+def test_demo_json_export_is_contracted(demo_exports):
+    doc = json.loads(open(demo_exports["json"], encoding="utf-8").read())
+    assert doc["sim_time_s"] == pytest.approx(2.0)
+    names = {s["name"] for s in doc["samples"]}
+    names |= {h["name"] for h in doc["histograms"]}
+    names |= {r["name"] for r in doc["spans"]}
+    assert names <= set(contract_names())
+    assert any(r["name"] == "mic.connect" for r in doc["spans"])
+
+
+def test_demo_csv_and_prom_exports(demo_exports):
+    csv = open(demo_exports["csv"], encoding="utf-8").read().splitlines()
+    assert csv[0] == "kind,name,labels,field,value"
+    assert any(ln.startswith("counter,switch.rule.packets,") for ln in csv)
+    prom = open(demo_exports["prom"], encoding="utf-8").read()
+    assert "# TYPE switch_rule_packets counter" in prom
+    assert "app_echo_rtt_s_count" in prom
+
+
+def test_summarize_round_trips(capsys, demo_exports):
+    assert main(["summarize", demo_exports["json"]]) == 0
+    out = capsys.readouterr().out
+    assert "snapshot @ t=2.000000s" in out
+    assert "switch.rule.packets" in out
+    assert "span mic.connect" in out

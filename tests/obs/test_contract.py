@@ -1,0 +1,105 @@
+"""The metrics contract is enforced both ways.
+
+docs/observability.md embeds the contract table between markers; it must
+equal the rendering of ``repro.obs.contract.CONTRACT`` exactly, so a metric
+exists in the doc iff it exists in code.  A live observed run may only emit
+contracted names — and between the counters chain and the MIC echo, every
+contracted name must actually be emitted by something.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core import deploy_mic
+from repro.net import FlowEntry, Match, Network, Output, linear
+from repro.obs import CONTRACT, Observer, contract_names, format_contract_table, spec
+
+DOC = Path(__file__).resolve().parents[2] / "docs" / "observability.md"
+BEGIN = "<!-- contract-table:begin"
+END = "<!-- contract-table:end"
+
+
+def doc_table() -> str:
+    """The contract table embedded in docs/observability.md."""
+    text = DOC.read_text(encoding="utf-8")
+    assert BEGIN in text and END in text, "contract-table markers missing"
+    inner = text.split(BEGIN, 1)[1].split(END, 1)[0]
+    # Drop the remainder of the begin-marker comment line itself.
+    return inner.split("-->", 1)[1].strip()
+
+
+def test_doc_table_matches_registry_exactly():
+    assert doc_table() == format_contract_table(), (
+        "docs/observability.md contract table is stale — regenerate with "
+        "`python -m repro.obs contract` and paste between the markers"
+    )
+
+
+def test_contract_names_unique_and_typed():
+    names = [m.name for m in CONTRACT]
+    assert len(names) == len(set(names))
+    for m in CONTRACT:
+        assert m.type in {"counter", "gauge", "histogram", "span"}, m.name
+        assert m.unit and m.fires, m.name
+    assert spec("switch.rule.packets").type == "counter"
+    with pytest.raises(KeyError):
+        spec("no.such.metric")
+
+
+def test_table_has_one_row_per_spec():
+    rows = [ln for ln in format_contract_table().splitlines() if ln.startswith("| `")]
+    assert len(rows) == len(CONTRACT)
+
+
+def _observed_names() -> set[str]:
+    """Every name emitted across a counters run plus an observed MIC echo."""
+    # Scripted chain: exercises data-plane counters + timeline histograms.
+    net = Network(linear(3, hosts_per_switch=1), seed=2)
+    h1, h3 = net.host("h1"), net.host("h3")
+    for sw, out in (("s1", ("s1", "s2")), ("s2", ("s2", "s3")), ("s3", ("s3", "h3"))):
+        net.switch(sw).table.install(
+            FlowEntry(Match(ip_dst=h3.ip), [Output(net.port(*out))])
+        )
+    obs = Observer.attach(net)
+    obs.start_timeline(0.001)
+    h3.bind("tcp", 80, lambda host, p: None)
+    h1.send_packet(h1.make_packet(h3.ip, dport=80, payload_size=100))
+    net.run(until=0.01)
+    obs.stop_timeline()
+    net.run()  # drain the delivery (the stopped timeline no longer reschedules)
+    names = obs.snapshot().names()
+
+    # Observed MIC echo: exercises control-plane counters and spans.
+    dep = deploy_mic(seed=5, observe=True)
+    server = dep.server("h16", 80)
+    alice = dep.endpoint("h1")
+
+    def client():
+        span = dep.obs.begin_span("bench.setup", protocol="mic-demo")
+        stream = yield from alice.connect("h16", service_port=80, n_mns=3)
+        span.finish()
+        t0 = dep.sim.now
+        stream.send(b"y" * 100)
+        yield from stream.recv_exactly(100)
+        dep.obs.histogram("app.echo_rtt_s", protocol="mic-demo").observe(
+            dep.sim.now - t0
+        )
+
+    def srv():
+        stream = yield server.accept()
+        data = yield from stream.recv_exactly(100)
+        stream.send(data)
+
+    dep.sim.process(client())
+    dep.sim.process(srv())
+    dep.run_for(2.0)
+    names |= dep.obs.snapshot().names()
+    return names
+
+
+def test_live_runs_emit_exactly_the_contract():
+    emitted = _observed_names()
+    contracted = set(contract_names())
+    assert emitted <= contracted, f"uncontracted metrics: {emitted - contracted}"
+    assert contracted <= emitted, f"dead contract entries: {contracted - emitted}"

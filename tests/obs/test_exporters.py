@@ -1,0 +1,87 @@
+"""Exporter formats: JSON round-trip, CSV rows, Prometheus text."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Histogram,
+    MetricsSnapshot,
+    SpanLog,
+    to_csv,
+    to_json,
+    to_prometheus,
+    write_json,
+)
+
+
+@pytest.fixture
+def snap():
+    """A small hand-built snapshot covering all four metric kinds."""
+    s = MetricsSnapshot(sim_time_s=1.5)
+    s.add("port.tx.packets", 7, node="h1", port=0)
+    s.add("link.queue.bytes", 120, channel="h1[0]->s1[1]")
+    s.add("ctrl.packet_in.count", 3)
+    hist = Histogram()
+    for v in (0.001, 0.002, 0.003):
+        hist.observe(v)
+    s.histograms[("net.packet_latency_s", (("host", "h3"),))] = hist.summary()
+    log = SpanLog()
+    log.record("mic.establish", 0.1, 0.2, channel="ch-1")
+    s.spans = list(log)
+    return s
+
+
+def test_json_round_trips(snap, tmp_path):
+    doc = json.loads(to_json(snap))
+    assert doc["sim_time_s"] == 1.5
+    by_name = {d["name"]: d for d in doc["samples"]}
+    assert by_name["port.tx.packets"]["value"] == 7.0
+    assert by_name["port.tx.packets"]["labels"] == {"node": "h1", "port": "0"}
+    assert by_name["ctrl.packet_in.count"]["labels"] == {}
+    (h,) = doc["histograms"]
+    assert h["name"] == "net.packet_latency_s"
+    assert h["summary"]["count"] == 3.0
+    assert h["summary"]["p50"] == 0.002
+    (r,) = doc["spans"]
+    assert r["name"] == "mic.establish"
+    assert r["duration_s"] == pytest.approx(0.1)
+    # write_json writes the same document.
+    path = tmp_path / "snap.json"
+    write_json(snap, str(path))
+    assert json.loads(path.read_text(encoding="utf-8")) == doc
+
+
+def test_csv_rows(snap):
+    lines = to_csv(snap).splitlines()
+    assert lines[0] == "kind,name,labels,field,value"
+    # The kind column comes from the contract.
+    assert 'counter,port.tx.packets,"node=h1;port=0",value,7' in lines
+    assert 'gauge,link.queue.bytes,"channel=h1[0]->s1[1]",value,120' in lines
+    # Histograms expand to one row per summary field.
+    hist_rows = [ln for ln in lines if ln.startswith("histogram,")]
+    assert len(hist_rows) == 8
+    assert 'histogram,net.packet_latency_s,"host=h3",p95,0.003' in lines
+    assert 'span,mic.establish,"channel=ch-1",duration_s,0.1' in lines
+
+
+def test_prometheus_text(snap):
+    text = to_prometheus(snap)
+    assert "# TYPE port_tx_packets counter" in text
+    assert "# TYPE link_queue_bytes gauge" in text
+    assert "# TYPE net_packet_latency_s summary" in text
+    assert 'port_tx_packets{node="h1",port="0"} 7' in text
+    assert "ctrl_packet_in_count 3" in text  # label-free: no braces
+    assert 'net_packet_latency_s{host="h3",quantile="0.5"} 0.002' in text
+    assert 'net_packet_latency_s_sum{host="h3"} 0.006' in text
+    assert 'net_packet_latency_s_count{host="h3"} 3' in text
+    # HELP text comes from the contract's "fires" column.
+    assert "# HELP port_tx_packets the port's transmit channel accepts a packet" in text
+    assert "mic_establish" not in text  # spans have no Prometheus mapping
+
+
+def test_empty_snapshot_exports(tmp_path):
+    empty = MetricsSnapshot(sim_time_s=0.0)
+    assert json.loads(to_json(empty))["samples"] == []
+    assert to_csv(empty) == "kind,name,labels,field,value\n"
+    assert to_prometheus(empty) == "\n"

@@ -29,6 +29,14 @@ def iter_modules():
         yield importlib.import_module(info.name)
 
 
+def test_obs_package_is_covered():
+    """The walk must include the observability package (ISSUE 2 extension)."""
+    names = {m.__name__ for m in iter_modules()}
+    assert "repro.obs" in names
+    assert "repro.obs.observer" in names
+    assert "repro.obs.contract" in names
+
+
 def public_members(module):
     for name, obj in vars(module).items():
         if name.startswith("_"):
