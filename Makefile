@@ -4,7 +4,7 @@ PYTHON ?= python
 # Same invocation the CI tier-1 gate uses (src/ layout, no install needed).
 PYPATH = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-verbose lint verify obs-demo bench figures quick-figures examples clean
+.PHONY: install test test-verbose lint verify obs-demo journey-demo bench figures quick-figures examples clean
 
 install:
 	pip install -e . --no-build-isolation || pip install -e .
@@ -33,6 +33,16 @@ obs-demo:
 		--metrics-json benchmarks/results/trace_capture_metrics.json
 	$(PYPATH) $(PYTHON) -m repro.obs summarize \
 		benchmarks/results/trace_capture_metrics.json
+
+# Journey demo: per-packet tracing with decoys + flight recorder, exported
+# as a Perfetto trace and a journey dump, then re-summarized.
+journey-demo:
+	@mkdir -p benchmarks/results
+	$(PYPATH) $(PYTHON) -m repro.obs journey \
+		--perfetto benchmarks/results/journey_trace.json \
+		--dump benchmarks/results/journey_dump.json
+	$(PYPATH) $(PYTHON) -m repro.obs summarize \
+		benchmarks/results/journey_dump.json
 
 bench:
 	$(PYPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,39 +1,49 @@
 #!/usr/bin/env python3
-"""Watch a mimic channel on the wire, tcpdump-style.
+"""Follow a mimic channel's packets end-to-end, journey-style.
 
-Captures what two different switches forward while a MIC channel carries a
-message: at the first Mimic Node you can see the rewrite happen (ingress
-and egress addresses differ), and at a mid-path switch the addresses are
-pure fiction — real hosts, wrong story.
+A MIC channel carries a message while a :class:`repro.obs.JourneyRecorder`
+traces every packet hop-by-hop, keyed on the sim-side identities that
+survive header rewrites.  The report walks one payload packet's journey —
+at each Mimic Node you see the exact old→new rewrite the installed rule
+applied, and the path shows the addresses are pure fiction in the middle:
+real hosts, wrong story.  An armed flight recorder and the MC's installed
+intent stand guard the whole run (a healthy channel triggers neither).
 
-The run is observed (`repro.obs`): the closing report reads the channel
-setup time from the `mic.connect` span and per-MN rule hits from the
-metrics snapshot, and `--metrics-json PATH` exports the full snapshot
-(`make obs-demo` pipes it back through `python -m repro.obs summarize`).
+The run is also observed (`repro.obs`): the closing report reads the
+channel setup time from the `mic.connect` span and per-MN rule hits from
+the metrics snapshot; `--metrics-json PATH` exports the full snapshot
+(`make obs-demo` pipes it back through `python -m repro.obs summarize`)
+and `--perfetto PATH` exports the journey as Chrome trace-event JSON
+(load it at ui.perfetto.dev — `make journey-demo` does both).
 
-Run:  python examples/trace_capture.py [--metrics-json PATH]
+Run:  python examples/trace_capture.py [--metrics-json PATH] [--perfetto PATH]
 """
 
 import argparse
 from typing import Optional
 
 from repro.core import deploy_mic
-from repro.net.tracefmt import capture_at
-from repro.obs import write_json
+from repro.obs import FlightRecorder, write_json, write_perfetto
 
 
 def main(argv: Optional[list] = None) -> None:
-    ap = argparse.ArgumentParser(description="traced MIC channel capture")
+    ap = argparse.ArgumentParser(description="journey-traced MIC channel")
     ap.add_argument("--metrics-json", metavar="PATH",
                     help="export the run's metrics snapshot as JSON")
+    ap.add_argument("--perfetto", metavar="PATH",
+                    help="export the packet journeys as trace-event JSON")
     args = ap.parse_args(argv)
 
-    dep = deploy_mic(seed=13, observe=True)
+    flight = FlightRecorder(capacity=32)
+    dep = deploy_mic(seed=13, observe=True,
+                     journey=True, journey_kwargs={"flight": flight})
+    rec = dep.journey
     server = dep.server("h16", 80)
     alice = dep.endpoint("h1")
 
     def client():
         stream = yield from alice.connect("h16", service_port=80, n_mns=3)
+        rec.arm_intent(dep.mic)  # channel is live: watch for rule divergence
         stream.send(b"the payload everyone can see but nobody can place")
 
     def srv():
@@ -49,21 +59,31 @@ def main(argv: Optional[list] = None) -> None:
     print(f"mimic nodes  : {', '.join(plan.mn_names)}")
     print(f"alice is {dep.net.host('h1').ip}, bob is {dep.net.host('h16').ip}\n")
 
-    first_mn = plan.mn_names[0]
-    print(f"--- capture at {first_mn} (first MN: watch the rewrite) ---")
-    print(capture_at(dep.net.trace, first_mn, limit=6))
-
-    mid = plan.walk[len(plan.walk) // 2]
-    if mid != first_mn and dep.net.topo.kind(mid) == "switch":
-        print(f"\n--- capture at {mid} (mid-path: all addresses are mimicry) ---")
-        print(capture_at(dep.net.trace, mid, limit=6))
+    # The payload packet's journey: the one delivered into h16 on port 80.
+    journeys = rec.journeys_by_content_tag()
+    payload = next(
+        j for j in journeys.values()
+        if "h16" in j.delivered_to() and any(
+            e.detail["header"][3] == 80 for e in j.by_kind("switch.egress")
+        )
+    )
+    print(f"--- payload journey (content_tag {payload.content_tag}) ---")
+    print(f"path: {' -> '.join(payload.path())}")
+    for switch, old, new in payload.rewrite_chain():
+        print(f"  rewrite at {switch}:")
+        print(f"    {old} ->")
+        print(f"    {new}")
 
     real = {str(dep.net.host("h1").ip), str(dep.net.host("h16").ip)}
-    mid_lines = capture_at(dep.net.trace, mid)
-    print(
-        "\nreal endpoint visible in the mid-path capture together: "
-        f"{any(real <= set(line.split()) for line in mid_lines.splitlines())}"
-    )
+    mid_headers = {
+        tuple(e.detail["header"][:2])
+        for e in payload.by_kind("switch.ingress")
+        if e.where == plan.walk[len(plan.walk) // 2]
+    }
+    mid_sees_real = any(real <= set(h) for h in mid_headers)
+    print(f"\nreal endpoint pair visible mid-path: {mid_sees_real}")
+    print(f"flight recorder: {len(flight.dumps)} anomaly dumps "
+          f"(intent armed over {rec.arm_intent(dep.mic)} MN hops)")
 
     # The same story in numbers, via the observability layer.
     connect = dep.obs.spans.last("mic.connect")
@@ -80,6 +100,9 @@ def main(argv: Optional[list] = None) -> None:
     if args.metrics_json:
         write_json(snap, args.metrics_json)
         print(f"metrics snapshot written to {args.metrics_json}")
+    if args.perfetto:
+        write_perfetto(rec, args.perfetto)
+        print(f"perfetto trace written to {args.perfetto}")
 
 
 if __name__ == "__main__":

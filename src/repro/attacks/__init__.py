@@ -1,10 +1,23 @@
 """Adversary machinery and anonymity metrics for the security analysis."""
 
-from .anonymity_set import LinkAnonymity, link_anonymity, walk_anonymity
+from .anonymity_set import (
+    EmpiricalAnonymity,
+    LinkAnonymity,
+    empirical_anonymity,
+    link_anonymity,
+    walk_anonymity,
+)
 from .compromise import LeakReport, analyze_position, unlinkability_holds
-from .correlation import CorrelationResult, correlate_at_mn, end_to_end_correlation
+from .correlation import (
+    CorrelationResult,
+    GroundTruthCorrelation,
+    correlate_at_mn,
+    correlate_with_truth,
+    end_to_end_correlation,
+)
 from .metrics import (
     anonymity_set_size,
+    expected_uniform_accuracy,
     linkage_success_rate,
     normalized_entropy,
     posterior_entropy,
@@ -16,9 +29,14 @@ from .timing import correlate_by_timing, interarrival_signature, rate_similarity
 
 __all__ = [
     "CorrelationResult",
+    "GroundTruthCorrelation",
+    "correlate_with_truth",
     "FlowSizeEstimate",
     "LeakReport",
     "LinkAnonymity",
+    "EmpiricalAnonymity",
+    "empirical_anonymity",
+    "expected_uniform_accuracy",
     "link_anonymity",
     "walk_anonymity",
     "Observation",

@@ -15,10 +15,21 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..core.restrictions import AddressRestrictions
 
-__all__ = ["LinkAnonymity", "link_anonymity", "walk_anonymity"]
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.journey import Journey
+    from .observer import ObservationPoint
+
+__all__ = [
+    "LinkAnonymity",
+    "EmpiricalAnonymity",
+    "link_anonymity",
+    "walk_anonymity",
+    "empirical_anonymity",
+]
 
 
 @dataclass(frozen=True)
@@ -62,3 +73,64 @@ def walk_anonymity(
     return [
         link_anonymity(restrictions, u, v) for u, v in zip(walk, walk[1:])
     ]
+
+
+@dataclass(frozen=True)
+class EmpiricalAnonymity:
+    """Ground-truth endpoints behind one observation point's capture.
+
+    :func:`link_anonymity` counts who *could plausibly* be behind a flow;
+    this counts who *actually was*, from journey ground truth — the gap
+    between the two is how much of the anonymity set is real mixing versus
+    combinatorial possibility.
+    """
+
+    switch: str
+    observed_tags: int  # distinct wire contents the adversary captured
+    labeled_tags: int  # of those, tags the journey recorder has truth for
+    true_senders: frozenset[str]
+    true_receivers: frozenset[str]
+
+    @property
+    def sender_set_size(self) -> int:
+        """How many real senders the captured traffic mixes together."""
+        return len(self.true_senders)
+
+    @property
+    def receiver_set_size(self) -> int:
+        """How many real receivers the captured traffic mixes together."""
+        return len(self.true_receivers)
+
+
+def empirical_anonymity(
+    point: "ObservationPoint", journeys: dict[int, "Journey"]
+) -> EmpiricalAnonymity:
+    """Resolve an observation point's capture against journey ground truth.
+
+    Every content tag the adversary saw (ingress or egress) is looked up in
+    the journey map; the true origin hosts and delivered destinations form
+    the *empirical* sender/receiver anonymity sets at that vantage point.
+    Tags without a journey (unsampled, or control traffic) count as
+    observed but contribute no labels.
+    """
+    tags = {obs.content_tag for obs in point.ingress()}
+    tags.update(obs.content_tag for obs in point.egress())
+    senders: set[str] = set()
+    receivers: set[str] = set()
+    labeled = 0
+    for tag in tags:
+        journey = journeys.get(tag)
+        if journey is None:
+            continue
+        labeled += 1
+        origin = journey.origin()
+        if origin is not None:
+            senders.add(origin)
+        receivers.update(journey.delivered_to())
+    return EmpiricalAnonymity(
+        switch=point.switch_name,
+        observed_tags=len(tags),
+        labeled_tags=labeled,
+        true_senders=frozenset(senders),
+        true_receivers=frozenset(receivers),
+    )

@@ -10,16 +10,33 @@ plausible egress candidates.
 :func:`correlate_at_mn` implements the content-matching attacker and reports
 its confidence; :func:`end_to_end_correlation` chains per-hop confidences
 along a whole path of compromised switches.
+
+Those two report what the attacker *believes*.  :func:`correlate_with_truth`
+scores the same attacker against exact ground truth from the journey
+recorder (:meth:`repro.obs.JourneyRecorder.journeys_by_content_tag`): the
+simulator knows which egress copy was the real continuation and which were
+multicast decoys, so the attack's success probability is measured, not
+assumed — the PINOT/TARN-style evaluation methodology.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from .observer import Observation, ObservationPoint
 
-__all__ = ["CorrelationResult", "correlate_at_mn", "end_to_end_correlation"]
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.journey import Journey
+
+__all__ = [
+    "CorrelationResult",
+    "GroundTruthCorrelation",
+    "correlate_at_mn",
+    "correlate_with_truth",
+    "end_to_end_correlation",
+]
 
 
 @dataclass(frozen=True)
@@ -82,6 +99,84 @@ def correlate_at_mn(
         ambiguous=ambiguous,
         total_ingress=len(ingress),
         mean_candidates=mean_candidates,
+    )
+
+
+@dataclass(frozen=True)
+class GroundTruthCorrelation:
+    """The content-matching attack scored against exact journey labels."""
+
+    total_ingress: int
+    matched: int  # ingress packets with >= 1 content-matched egress candidate
+    linkable: int  # matched ingress whose candidate set contains a true egress
+    expected_accuracy: float  # P(uniform pick among candidates is a true egress)
+    decoy_candidates: int  # candidate egress copies that were decoys
+    true_candidates: int  # candidate egress copies on a delivered lineage
+
+    @property
+    def match_rate(self) -> float:
+        """Fraction of ingress packets the attacker matched at all."""
+        return self.matched / self.total_ingress if self.total_ingress else 0.0
+
+    @property
+    def decoy_fraction(self) -> float:
+        """Fraction of the attacker's candidates that were decoy copies."""
+        total = self.decoy_candidates + self.true_candidates
+        return self.decoy_candidates / total if total else 0.0
+
+
+def correlate_with_truth(
+    point: ObservationPoint,
+    journeys: dict[int, "Journey"],
+    window_s: float = 1.0,
+) -> GroundTruthCorrelation:
+    """Score the content-matching attacker against journey ground truth.
+
+    Candidates are built exactly as in :func:`correlate_at_mn` (same content
+    tag, egress within the window).  A candidate is *true* when its packet
+    instance lies on a delivered lineage in the journey for that tag
+    (:meth:`~repro.obs.Journey.delivered_uids`) — multicast decoy copies
+    never do.  ``expected_accuracy`` is the attacker's actual success
+    probability under a uniform pick among candidates, averaged over
+    matched ingress packets.
+    """
+    egress_by_tag: dict[int, list[Observation]] = defaultdict(list)
+    for obs in point.egress():
+        egress_by_tag[obs.content_tag].append(obs)
+    true_uids: dict[int, frozenset[int]] = {
+        tag: frozenset(j.delivered_uids()) for tag, j in journeys.items()
+    }
+
+    matched = 0
+    linkable = 0
+    decoy_candidates = 0
+    true_candidates = 0
+    hit_probs: list[float] = []
+    ingress = point.ingress()
+    for obs in ingress:
+        candidates = [
+            e
+            for e in egress_by_tag.get(obs.content_tag, [])
+            if obs.time <= e.time <= obs.time + window_s
+        ]
+        if not candidates:
+            continue
+        matched += 1
+        delivered = true_uids.get(obs.content_tag, frozenset())
+        hits = sum(1 for e in candidates if e.uid in delivered)
+        true_candidates += hits
+        decoy_candidates += len(candidates) - hits
+        if hits:
+            linkable += 1
+        hit_probs.append(hits / len(candidates))
+    expected = sum(hit_probs) / len(hit_probs) if hit_probs else 0.0
+    return GroundTruthCorrelation(
+        total_ingress=len(ingress),
+        matched=matched,
+        linkable=linkable,
+        expected_accuracy=expected,
+        decoy_candidates=decoy_candidates,
+        true_candidates=true_candidates,
     )
 
 

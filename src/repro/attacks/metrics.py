@@ -19,6 +19,7 @@ __all__ = [
     "posterior_entropy",
     "normalized_entropy",
     "linkage_success_rate",
+    "expected_uniform_accuracy",
 ]
 
 
@@ -57,3 +58,26 @@ def linkage_success_rate(trials: Sequence[bool]) -> float:
     if not trials:
         raise ValueError("no trials")
     return sum(bool(t) for t in trials) / len(trials)
+
+
+def expected_uniform_accuracy(
+    candidate_sets: Sequence[Iterable], truths: Sequence[Iterable]
+) -> float:
+    """Expected success of a uniform pick from each candidate set.
+
+    For each trial ``i`` the adversary picks uniformly from
+    ``candidate_sets[i]``; a pick in ``truths[i]`` is a hit.  Returns the
+    mean hit probability over trials with non-empty candidates (0.0 when
+    none) — the number ground-truth scoring compares an attack's claimed
+    confidence against.
+    """
+    if len(candidate_sets) != len(truths):
+        raise ValueError("candidate_sets and truths must align")
+    probs = []
+    for candidates, truth in zip(candidate_sets, truths):
+        cset = set(candidates)
+        if not cset:
+            continue
+        tset = set(truth)
+        probs.append(len(cset & tset) / len(cset))
+    return sum(probs) / len(probs) if probs else 0.0

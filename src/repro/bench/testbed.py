@@ -12,7 +12,7 @@ from typing import Optional, Sequence
 
 from ..core import MicEndpoint, MicServer, MimicController
 from ..net import Network, NetParams, Topology, fat_tree
-from ..obs import Observer
+from ..obs import JourneyRecorder, Observer
 from ..sdn import Controller, L3ShortestPathApp
 from ..tor import TorClient, TorDirectory, TorRelay, TorRelayParams
 from ..transport import SslStack, TcpStack
@@ -38,6 +38,8 @@ class Testbed:
     relays: list[TorRelay]
     #: attached observer when created with ``observe=True``, else None
     obs: Optional[Observer] = None
+    #: attached journey recorder when created with ``journey=True``, else None
+    journey: Optional[JourneyRecorder] = None
 
     @classmethod
     def create(
@@ -50,12 +52,19 @@ class Testbed:
         tor_params: Optional[TorRelayParams] = None,
         mic_kwargs: Optional[dict] = None,
         observe: bool = False,
+        journey: bool = False,
+        journey_kwargs: Optional[dict] = None,
     ) -> "Testbed":
         net = Network(topo or fat_tree(4), params=params or NetParams(), seed=seed)
         ctrl = Controller(net)
         mic = ctrl.register(MimicController(**(mic_kwargs or {})))
         l3 = ctrl.register(L3ShortestPathApp())
         obs = Observer.attach(net, mic=mic, controller=ctrl) if observe else None
+        rec = None
+        if journey:
+            rec = JourneyRecorder.attach(net, **(journey_kwargs or {}))
+            if obs is not None:
+                obs.journey = rec
         if pre_wire:
             l3.wire_all_pairs()
             net.run()  # let installs finish before any measurement
@@ -65,7 +74,7 @@ class Testbed:
             TorRelay(net.host(h), directory, params=relay_params)
             for h in relay_hosts
         ]
-        return cls(net, ctrl, mic, l3, directory, relays, obs=obs)
+        return cls(net, ctrl, mic, l3, directory, relays, obs=obs, journey=rec)
 
     # -- convenience constructors for protocol endpoints --------------------
     def tcp_stack(self, host_name: str) -> TcpStack:

@@ -14,7 +14,7 @@ from typing import Optional
 from ..net.network import Network
 from ..net.params import NetParams
 from ..net.topology import Topology, fat_tree
-from ..obs import Observer
+from ..obs import JourneyRecorder, Observer
 from ..sdn.controller import Controller
 from ..sdn.l3app import L3ShortestPathApp
 from .client import MicEndpoint, MicServer
@@ -34,6 +34,8 @@ class MicDeployment:
     l3: L3ShortestPathApp
     #: attached observer when deployed with ``observe=True``, else None
     obs: Optional[Observer] = None
+    #: attached journey recorder when deployed with ``journey=True``, else None
+    journey: Optional[JourneyRecorder] = None
 
     @property
     def sim(self):
@@ -76,6 +78,8 @@ def deploy_mic(
     pre_wire: bool = False,
     mic_kwargs: Optional[dict] = None,
     observe: bool = False,
+    journey: bool = False,
+    journey_kwargs: Optional[dict] = None,
 ) -> MicDeployment:
     """Stand up a MIC-enabled network on ``topo`` (default: the paper's
     4-ary fat-tree).
@@ -84,13 +88,22 @@ def deploy_mic(
     pair (no packet-ins later); otherwise the L3 app wires reactively.
     ``observe=True`` attaches a :class:`repro.obs.Observer` before any
     traffic runs; it is exposed as the deployment's ``obs`` field.
+    ``journey=True`` additionally attaches a
+    :class:`repro.obs.JourneyRecorder` (``journey_kwargs`` forwards
+    ``sample_rate``/``predicate``/``flight``), exposed as ``journey`` —
+    when an observer is also attached the recorder registers on it too.
     """
     net = Network(topo or fat_tree(4), params=params or NetParams(), seed=seed)
     ctrl = Controller(net)
     mic = ctrl.register(MimicController(**(mic_kwargs or {})))
     l3 = ctrl.register(L3ShortestPathApp())
     obs = Observer.attach(net, mic=mic, controller=ctrl) if observe else None
+    rec = None
+    if journey:
+        rec = JourneyRecorder.attach(net, **(journey_kwargs or {}))
+        if obs is not None:
+            obs.journey = rec
     if pre_wire:
         l3.wire_all_pairs()
         net.run()
-    return MicDeployment(net=net, ctrl=ctrl, mic=mic, l3=l3, obs=obs)
+    return MicDeployment(net=net, ctrl=ctrl, mic=mic, l3=l3, obs=obs, journey=rec)

@@ -83,6 +83,8 @@ class Host(Node):
         self._book_stack_work(packet)
         self.packets_sent += 1
         self.bytes_sent += packet.size
+        if self.journey is not None:
+            self.journey.on_host_tx(self, packet)
         self.trace.emit(
             self.sim.now,
             "host.tx",
@@ -134,12 +136,16 @@ class Host(Node):
                 self.sim.now, "host.foreign_drop", self.name, uid=packet.uid,
                 dst_ip=str(packet.ip_dst),
             )
+            if self.journey is not None:
+                self.journey.on_host_foreign_drop(self, packet)
             return
         self._book_stack_work(packet)
         self.packets_received += 1
         self.bytes_received += packet.size
         if self.obs is not None:
             self.obs.on_host_rx(self, packet)
+        if self.journey is not None:
+            self.journey.on_host_rx(self, packet)
         self.trace.emit(
             self.sim.now,
             "host.rx",

@@ -58,6 +58,8 @@ class Channel:
         self.stats = LinkStats()
         self._tx_free_at = 0.0
         self.up = True
+        #: optional attached repro.obs.journey.JourneyRecorder
+        self.journey = None
 
     @property
     def name(self) -> str:
@@ -71,14 +73,19 @@ class Channel:
 
     def send(self, packet: Packet) -> bool:
         """Enqueue ``packet`` for transmission; False means tail-dropped."""
+        backlog = self.backlog_bytes()
         if not self.up:
             self.stats.drops += 1
+            if self.journey is not None:
+                self.journey.on_link_drop(self, packet, backlog)
             return False
-        if self.backlog_bytes() + packet.size > self.queue_bytes:
+        if backlog + packet.size > self.queue_bytes:
             self.stats.drops += 1
             self.trace.emit(
                 self.sim.now, "link.drop", self.name, uid=packet.uid, size=packet.size
             )
+            if self.journey is not None:
+                self.journey.on_link_drop(self, packet, backlog)
             return False
         tx_time = packet.size * 8.0 / self.bandwidth_bps
         start = max(self.sim.now, self._tx_free_at)
@@ -86,6 +93,10 @@ class Channel:
         deliver_at = self._tx_free_at + self.delay_s
         self.stats.packets += 1
         self.stats.bytes += packet.size
+        if self.journey is not None:
+            self.journey.on_link_tx(
+                self, packet, start - self.sim.now, tx_time, backlog
+            )
         self.trace.emit(
             self.sim.now,
             "link.tx",

@@ -60,6 +60,8 @@ class Switch(Node):
     def receive(self, packet: Packet, in_port: int) -> None:
         """Data-path entry: mirror, delay, then classify."""
         self._mirror(packet, in_port, "in")
+        if self.journey is not None:
+            self.journey.on_switch_ingress(self, packet, in_port)
         entry = self.table.lookup(packet, in_port)
         rewrites = _rewrite_count(entry.actions) if entry else 0
         delay = (
@@ -75,7 +77,10 @@ class Switch(Node):
         packet.ttl -= 1
         if packet.ttl <= 0:
             self.trace.emit(self.sim.now, "switch.ttl_expired", self.name, uid=packet.uid)
+            if self.journey is not None:
+                self.journey.on_ttl_expired(self, packet, in_port)
             return
+        pre = self.journey.pre_apply(packet) if self.journey is not None else None
         emissions, to_controller, entry = self.table.apply(packet, in_port)
         if entry is None:
             self.packets_punted += 1
@@ -87,9 +92,15 @@ class Switch(Node):
                 src_ip=str(packet.ip_src),
                 dst_ip=str(packet.ip_dst),
             )
+            if self.journey is not None:
+                self.journey.on_switch_miss(self, packet, in_port)
             self._punt(packet, in_port)
             return
         entry.last_hit_s = self.sim.now
+        if pre is not None:
+            self.journey.on_switch_applied(
+                self, packet, in_port, entry, pre, emissions
+            )
         if to_controller:
             self._punt(packet, in_port)
         for port, out_pkt in emissions:

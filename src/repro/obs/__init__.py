@@ -15,9 +15,37 @@ doc.  See ``python -m repro.obs --help`` for the CLI.
 """
 
 from .contract import CONTRACT, MetricSpec, contract_names, format_contract_table, spec
-from .exporters import to_csv, to_json, to_prometheus, write_json
-from .metrics import Histogram, MetricsSnapshot, Sample, labels_key
+from .exporters import (
+    buckets_from_prometheus,
+    parse_prometheus,
+    to_csv,
+    to_json,
+    to_prometheus,
+    write_json,
+)
+from .flight import (
+    ANOMALY_TRIGGERS,
+    DEFAULT_TRIGGERS,
+    AnomalyTrigger,
+    FlightDump,
+    FlightRecorder,
+    format_trigger_table,
+)
+from .journey import (
+    JOURNEY_EVENTS,
+    Journey,
+    JourneyEvent,
+    JourneyEventSpec,
+    JourneyRecorder,
+    format_hop_table,
+    format_journey_table,
+    header_tuple,
+    journey_event_kinds,
+    journeys_to_json,
+)
+from .metrics import DEFAULT_BUCKET_BOUNDS, Histogram, MetricsSnapshot, Sample, labels_key
 from .observer import Observer
+from .perfetto import to_perfetto, write_perfetto
 from .spans import NULL_SPAN, Span, SpanLog, SpanRecord, begin
 from .timeline import MetricsTimeline
 
@@ -26,6 +54,7 @@ __all__ = [
     "MetricsSnapshot",
     "MetricsTimeline",
     "Histogram",
+    "DEFAULT_BUCKET_BOUNDS",
     "Sample",
     "SpanRecord",
     "Span",
@@ -38,8 +67,28 @@ __all__ = [
     "contract_names",
     "spec",
     "format_contract_table",
+    "JourneyRecorder",
+    "Journey",
+    "JourneyEvent",
+    "JourneyEventSpec",
+    "JOURNEY_EVENTS",
+    "journey_event_kinds",
+    "format_journey_table",
+    "format_hop_table",
+    "header_tuple",
+    "journeys_to_json",
+    "FlightRecorder",
+    "FlightDump",
+    "AnomalyTrigger",
+    "ANOMALY_TRIGGERS",
+    "DEFAULT_TRIGGERS",
+    "format_trigger_table",
+    "to_perfetto",
+    "write_perfetto",
     "to_json",
     "to_csv",
     "to_prometheus",
+    "parse_prometheus",
+    "buckets_from_prometheus",
     "write_json",
 ]

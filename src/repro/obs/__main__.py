@@ -7,8 +7,15 @@ same markdown ``docs/observability.md`` embeds).
 exchange with an observer attached, and prints the summary — optionally
 exporting the snapshot as JSON/CSV/Prometheus text.
 
+``python -m repro.obs journey`` runs the same deployment with per-packet
+journey tracing and a flight recorder attached (plus multicast decoys, so
+the ground-truth linkage has something to disambiguate), prints the
+per-flow hop table, and can export the run as Perfetto trace-event JSON
+(``--perfetto out.json``, loadable at ui.perfetto.dev) or as a journey
+dump (``--dump out.json``).
+
 ``python -m repro.obs summarize FILE`` re-summarizes a previously exported
-JSON snapshot.
+JSON snapshot — or, when FILE is a journey dump, prints its hop table.
 """
 
 from __future__ import annotations
@@ -20,6 +27,7 @@ from typing import Optional
 
 from .contract import format_contract_table
 from .exporters import to_csv, to_json, to_prometheus
+from .journey import format_hop_table, journeys_to_json
 
 
 def _cmd_contract(args: argparse.Namespace) -> int:
@@ -78,9 +86,61 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_journey(args: argparse.Namespace) -> int:
+    from ..core import deploy_mic
+    from .flight import FlightRecorder
+    from .journey import JourneyRecorder
+    from .perfetto import write_perfetto
+
+    dep = deploy_mic(seed=args.seed)
+    flight = FlightRecorder(capacity=args.flight_capacity)
+    rec = JourneyRecorder.attach(
+        dep.net, sample_rate=args.sample_rate, flight=flight
+    )
+
+    server = dep.server("h16", 80)
+    alice = dep.endpoint("h1")
+    message = b"x" * 400
+
+    def client():
+        stream = yield from alice.connect(
+            "h16", service_port=80, n_mns=3, decoys=args.decoys
+        )
+        # Channels exist now: arm the MC's planned rewrites so any
+        # divergence from installed intent trips the flight recorder.
+        rec.arm_intent(dep.mic)
+        stream.send(message)
+        yield from stream.recv_exactly(len(message))
+
+    def srv():
+        stream = yield server.accept()
+        data = yield from stream.recv_exactly(len(message))
+        stream.send(data)
+
+    dep.sim.process(client())
+    dep.sim.process(srv())
+    dep.run_for(args.horizon)
+
+    doc = journeys_to_json(rec, flight)
+    print(format_hop_table(doc))
+    if args.dump:
+        with open(args.dump, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=1)
+            fh.write("\n")
+        print(f"wrote journey dump to {args.dump}")
+    if args.perfetto:
+        write_perfetto(doc, args.perfetto)
+        print(f"wrote Perfetto trace to {args.perfetto} "
+              "(load it at ui.perfetto.dev)")
+    return 0
+
+
 def _cmd_summarize(args: argparse.Namespace) -> int:
     with open(args.file, encoding="utf-8") as fh:
         doc = json.load(fh)
+    if "journeys" in doc:
+        print(format_hop_table(doc))
+        return 0
     print(f"snapshot @ t={doc['sim_time_s']:.6f}s")
     print(f"  samples: {len(doc['samples'])}")
     totals: dict[str, float] = {}
@@ -135,8 +195,28 @@ def main(argv: Optional[list[str]] = None) -> int:
                       help="write Prometheus text snapshot")
     demo.set_defaults(func=_cmd_demo)
 
+    journey = sub.add_parser(
+        "journey",
+        help="run a journey-traced MIC echo (with decoys) and print hop table",
+    )
+    journey.add_argument("--seed", type=int, default=13)
+    journey.add_argument("--horizon", type=float, default=10.0,
+                         help="sim-seconds to run (default 10)")
+    journey.add_argument("--decoys", type=int, default=2,
+                         help="multicast decoy branches per direction (default 2)")
+    journey.add_argument("--sample-rate", type=float, default=1.0,
+                         help="journey sampling rate in [0, 1] (default 1)")
+    journey.add_argument("--flight-capacity", type=int, default=64,
+                         help="flight-recorder ring size per location")
+    journey.add_argument("--perfetto", metavar="PATH",
+                         help="write Perfetto/Chrome trace-event JSON")
+    journey.add_argument("--dump", metavar="PATH",
+                         help="write the journey dump as JSON")
+    journey.set_defaults(func=_cmd_journey)
+
     summarize = sub.add_parser(
-        "summarize", help="summarize a previously exported JSON snapshot"
+        "summarize",
+        help="summarize an exported JSON snapshot or journey dump",
     )
     summarize.add_argument("file")
     summarize.set_defaults(func=_cmd_summarize)

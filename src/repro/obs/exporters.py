@@ -8,20 +8,31 @@ All three serialize a :class:`~repro.obs.MetricsSnapshot`:
 * **CSV** — flat rows ``kind,name,labels,field,value`` for spreadsheet
   ingestion.
 * **Prometheus** — the text exposition format (``# TYPE`` lines from the
-  contract, dots mapped to underscores, histogram summaries as ``_count`` /
-  ``_sum`` and quantile-labeled gauges).  Spans are not exported here;
-  Prometheus has no span type.
+  contract, dots mapped to underscores).  Histograms export in either style:
+  ``summary`` (quantile-labeled series + ``_sum``/``_count``, the default)
+  or ``histogram`` (cumulative ``_bucket{le=...}`` series ending in
+  ``+Inf``), so latency distributions survive the round-trip — and
+  :func:`parse_prometheus` reads the text back for exactly that check.
+  Spans are not exported here; Prometheus has no span type.
 """
 
 from __future__ import annotations
 
 import json
-from typing import IO, Any
+import math
+from typing import Any
 
 from .contract import _BY_NAME
 from .metrics import MetricsSnapshot
 
-__all__ = ["to_json", "to_csv", "to_prometheus", "write_json"]
+__all__ = [
+    "to_json",
+    "to_csv",
+    "to_prometheus",
+    "parse_prometheus",
+    "buckets_from_prometheus",
+    "write_json",
+]
 
 
 def _labels_dict(key: tuple[tuple[str, str], ...]) -> dict[str, str]:
@@ -73,6 +84,8 @@ def to_csv(snap: MetricsSnapshot) -> str:
         lines.append(f'{kind},{s.name},"{_labels_txt(s.labels)}",value,{s.value:g}')
     for (name, key), summary in sorted(snap.histograms.items()):
         for field, value in summary.items():
+            if not isinstance(value, (int, float)):
+                continue  # buckets and other structured fields are not rows
             lines.append(f'histogram,{name},"{_labels_txt(key)}",{field},{value:g}')
     for r in snap.spans:
         lines.append(
@@ -93,8 +106,17 @@ def _prom_labels(key: tuple[tuple[str, str], ...], extra: dict[str, str] = {}) -
     return "{" + body + "}"
 
 
-def to_prometheus(snap: MetricsSnapshot) -> str:
-    """The snapshot in the Prometheus text exposition format."""
+def to_prometheus(snap: MetricsSnapshot, histogram_style: str = "summary") -> str:
+    """The snapshot in the Prometheus text exposition format.
+
+    ``histogram_style`` selects how distributions export: ``"summary"``
+    (quantile series, the historical default) or ``"histogram"``
+    (cumulative ``_bucket{le=...}`` series from the summary's ``buckets``
+    field, ending in the mandatory ``+Inf`` bucket — the style that
+    round-trips back into a distribution).
+    """
+    if histogram_style not in ("summary", "histogram"):
+        raise ValueError(f"unknown histogram_style {histogram_style!r}")
     lines: list[str] = []
     typed: set[str] = set()
 
@@ -114,12 +136,67 @@ def to_prometheus(snap: MetricsSnapshot) -> str:
         lines.append(f"{_prom_name(s.name)}{_prom_labels(s.labels)} {s.value:g}")
     for (name, key), summary in sorted(snap.histograms.items()):
         prom = _prom_name(name)
-        _type_line(name, "summary")
-        for q in ("p50", "p95", "p99"):
-            quantile = str(int(q[1:]) / 100)
+        buckets = summary.get("buckets")
+        if histogram_style == "histogram" and buckets is not None:
+            _type_line(name, "histogram")
+            for le, cum in buckets:
+                lines.append(
+                    f"{prom}_bucket{_prom_labels(key, {'le': f'{le:g}'})} {cum:g}"
+                )
             lines.append(
-                f"{prom}{_prom_labels(key, {'quantile': quantile})} {summary[q]:g}"
+                f"{prom}_bucket{_prom_labels(key, {'le': '+Inf'})} "
+                f"{summary['count']:g}"
             )
+        else:
+            _type_line(name, "summary")
+            for q in ("p50", "p95", "p99"):
+                quantile = str(int(q[1:]) / 100)
+                lines.append(
+                    f"{prom}{_prom_labels(key, {'quantile': quantile})} {summary[q]:g}"
+                )
         lines.append(f"{prom}_sum{_prom_labels(key)} {summary['sum']:g}")
         lines.append(f"{prom}_count{_prom_labels(key)} {summary['count']:g}")
     return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> dict[str, list[tuple[dict[str, str], float]]]:
+    """Parse text exposition back into ``name -> [(labels, value), ...]``.
+
+    Covers the subset :func:`to_prometheus` emits (no escapes inside label
+    values, no timestamps) — enough to round-trip our own output, which is
+    what the exporter tests do with histogram buckets.
+    """
+    out: dict[str, list[tuple[dict[str, str], float]]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        series, value_txt = line.rsplit(None, 1)
+        labels: dict[str, str] = {}
+        if "{" in series:
+            name, body = series.split("{", 1)
+            body = body.rstrip("}")
+            if body:
+                for item in body.split(","):
+                    k, v = item.split("=", 1)
+                    labels[k] = v.strip('"')
+        else:
+            name = series
+        value = float(value_txt)  # "+Inf" parses to math.inf
+        out.setdefault(name, []).append((labels, value))
+    return out
+
+
+def buckets_from_prometheus(
+    parsed: dict[str, list[tuple[dict[str, str], float]]], name: str
+) -> list[tuple[float, int]]:
+    """Reassemble one metric's cumulative buckets from parsed exposition.
+
+    Returns ``(le, cumulative_count)`` sorted by bound, ``+Inf`` last —
+    the inverse of the ``histogram`` export style for a single series.
+    """
+    pairs = [
+        (float(labels["le"]), int(value))
+        for labels, value in parsed.get(f"{name}_bucket", [])
+    ]
+    return sorted(pairs, key=lambda p: (math.inf if math.isinf(p[0]) else p[0]))

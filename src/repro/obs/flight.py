@@ -1,0 +1,209 @@
+"""Flight recorder: bounded event rings that dump on anomaly triggers.
+
+Aircraft-style black box for the data plane.  The recorder keeps the last
+*N* journey events per location (node or directed channel) in fixed-size
+ring buffers, so memory stays bounded no matter how long the run is, and
+when an **anomaly trigger** fires it snapshots every ring into a
+:class:`FlightDump` — the events *leading up to* the anomaly, which the
+post-hoc trace log alone cannot give you without retaining everything.
+
+The recorder rides on :class:`~repro.obs.journey.JourneyRecorder` hooks and
+sees every event regardless of the journey sampling decision (arming a
+flight recorder makes the hooks process every packet — retention stays
+bounded, and the sim-visible trace stays byte-identical either way).
+
+Triggers are contracted in :data:`ANOMALY_TRIGGERS` and doc-diffed both
+ways, like the metrics contract.  ``switch.miss`` is deliberately *not* a
+default trigger: reactive MIC deployments punt control packets to the MC
+by design, and a default-armed recorder must stay silent on a healthy run.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .journey import JourneyEvent, JourneyRecorder
+
+__all__ = [
+    "AnomalyTrigger",
+    "ANOMALY_TRIGGERS",
+    "DEFAULT_TRIGGERS",
+    "FlightDump",
+    "FlightRecorder",
+    "format_trigger_table",
+]
+
+
+@dataclass(frozen=True)
+class AnomalyTrigger:
+    """One contracted anomaly trigger: what fires it and whether default-armed."""
+
+    name: str
+    event_kind: str
+    default: bool
+    condition: str
+
+
+ANOMALY_TRIGGERS: tuple[AnomalyTrigger, ...] = (
+    AnomalyTrigger(
+        "drop", "link.drop", True,
+        "any channel tail-drops a packet (backlog over budget or link down)",
+    ),
+    AnomalyTrigger(
+        "ttl_expired", "switch.ttl_expired", True,
+        "a packet dies of TTL inside a switch pipeline (loop symptom)",
+    ),
+    AnomalyTrigger(
+        "divergence", "switch.divergence", True,
+        "with intent armed, a MN hop's emissions carry none of the "
+        "MC-planned out-tuples for the observed in-tuple",
+    ),
+    AnomalyTrigger(
+        "queue_depth", "link.tx", True,
+        "a channel accepts a packet while its backlog exceeds "
+        "``queue_threshold_bytes`` (disarmed when the threshold is None, "
+        "the default)",
+    ),
+    AnomalyTrigger(
+        "miss", "switch.miss", False,
+        "a table miss punts a packet to the controller — opt-in, because "
+        "reactive deployments punt control packets by design",
+    ),
+)
+
+_TRIGGERS_BY_NAME = {t.name: t for t in ANOMALY_TRIGGERS}
+
+#: trigger names armed when ``FlightRecorder(triggers=...)`` is not given
+DEFAULT_TRIGGERS: frozenset[str] = frozenset(
+    t.name for t in ANOMALY_TRIGGERS if t.default
+)
+
+
+def format_trigger_table() -> str:
+    """Render the anomaly-trigger contract as the markdown table docs embed."""
+    lines = [
+        "| trigger | on event | default | fires when |",
+        "|---|---|---|---|",
+    ]
+    for t in ANOMALY_TRIGGERS:
+        default = "armed" if t.default else "opt-in"
+        lines.append(
+            f"| `{t.name}` | `{t.event_kind}` | {default} | {t.condition} |"
+        )
+    return "\n".join(lines)
+
+
+@dataclass
+class FlightDump:
+    """One anomaly snapshot: the trigger plus every ring's retained events."""
+
+    time_s: float
+    trigger: str
+    cause: "JourneyEvent"
+    events: dict[str, list["JourneyEvent"]] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (what journey dumps embed under ``flight_dumps``)."""
+        return {
+            "time_s": self.time_s,
+            "trigger": self.trigger,
+            "cause": self.cause.to_dict(),
+            "events": {
+                where: [e.to_dict() for e in ring]
+                for where, ring in self.events.items()
+            },
+        }
+
+
+class FlightRecorder:
+    """Bounded per-location rings of journey events, dumped on anomalies.
+
+    Parameters
+    ----------
+    capacity:
+        Events retained per location (node name or directed channel name).
+    triggers:
+        Trigger names to arm (see :data:`ANOMALY_TRIGGERS`); defaults to
+        every default-armed trigger.  Unknown names raise ``ValueError``.
+    queue_threshold_bytes:
+        Backlog level at which the ``queue_depth`` trigger fires; ``None``
+        (default) disarms it even when listed.
+    max_dumps:
+        Dumps retained before further triggers only count
+        (:attr:`dumps_suppressed`) — an anomaly storm must not unbound memory.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 64,
+        triggers: Optional[Iterable[str]] = None,
+        queue_threshold_bytes: Optional[int] = None,
+        max_dumps: int = 8,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity {capacity} must be >= 1")
+        names = DEFAULT_TRIGGERS if triggers is None else frozenset(triggers)
+        unknown = names - set(_TRIGGERS_BY_NAME)
+        if unknown:
+            raise ValueError(
+                f"unknown triggers {sorted(unknown)}; "
+                f"known: {sorted(_TRIGGERS_BY_NAME)}"
+            )
+        self.capacity = capacity
+        self.triggers = names
+        self.queue_threshold_bytes = queue_threshold_bytes
+        self.max_dumps = max_dumps
+        self._rings: dict[str, deque["JourneyEvent"]] = {}
+        #: kinds that can fire an armed trigger (fast membership test)
+        self._armed_kinds = {
+            _TRIGGERS_BY_NAME[n].event_kind: n for n in names
+        }
+        self.dumps: list[FlightDump] = []
+        self.dumps_suppressed = 0
+        self.recorder: Optional["JourneyRecorder"] = None
+
+    def bind(self, recorder: "JourneyRecorder") -> None:
+        """Called by the journey recorder adopting this flight recorder."""
+        self.recorder = recorder
+
+    def observe(self, event: "JourneyEvent") -> None:
+        """Ring-buffer the event, then check anomaly triggers."""
+        ring = self._rings.get(event.where)
+        if ring is None:
+            ring = self._rings[event.where] = deque(maxlen=self.capacity)
+        ring.append(event)
+        trigger = self._armed_kinds.get(event.kind)
+        if trigger is None:
+            return
+        if trigger == "queue_depth":
+            threshold = self.queue_threshold_bytes
+            if threshold is None or event.detail["backlog_bytes"] < threshold:
+                return
+        self._dump(trigger, event)
+
+    def _dump(self, trigger: str, cause: "JourneyEvent") -> None:
+        if len(self.dumps) >= self.max_dumps:
+            self.dumps_suppressed += 1
+            return
+        self.dumps.append(
+            FlightDump(
+                time_s=cause.time_s,
+                trigger=trigger,
+                cause=cause,
+                events={w: list(r) for w, r in self._rings.items()},
+            )
+        )
+
+    def ring(self, where: str) -> list["JourneyEvent"]:
+        """The currently retained events at one location (oldest first)."""
+        return list(self._rings.get(where, ()))
+
+    def locations(self) -> list[str]:
+        """Every location that has retained at least one event."""
+        return sorted(self._rings)
+
+    def __len__(self) -> int:
+        return len(self.dumps)

@@ -10,10 +10,25 @@ runs (thousands to low millions of observations, no streaming constraint).
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Optional
+from typing import Any, Iterator, Optional, Sequence
 
-__all__ = ["Histogram", "Sample", "MetricsSnapshot", "labels_key"]
+__all__ = [
+    "Histogram",
+    "Sample",
+    "MetricsSnapshot",
+    "labels_key",
+    "DEFAULT_BUCKET_BOUNDS",
+]
+
+#: default histogram bucket upper bounds (seconds): a 1-2-5 ladder from 1 µs
+#: to 10 s, wide enough for per-hop queue waits and end-to-end RTTs alike.
+DEFAULT_BUCKET_BOUNDS: tuple[float, ...] = tuple(
+    base * scale
+    for scale in (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0)
+    for base in (1.0, 2.0, 5.0)
+) + (10.0,)
 
 
 def labels_key(labels: dict[str, Any]) -> tuple[tuple[str, str], ...]:
@@ -76,9 +91,29 @@ class Histogram:
         rank = max(1, -(-len(self.values) * p // 100))  # ceil, 1-based
         return self.values[int(rank) - 1]
 
-    def summary(self) -> dict[str, float]:
-        """The export form: count/sum/min/mean/p50/p95/p99/max."""
-        return {
+    def buckets(
+        self, bounds: Sequence[float] = DEFAULT_BUCKET_BOUNDS
+    ) -> list[tuple[float, int]]:
+        """Prometheus-style cumulative buckets: ``(le, count ≤ le)`` pairs.
+
+        The implicit ``+Inf`` bucket is :attr:`count`; exporters add it.
+        """
+        self._ensure_sorted()
+        return [
+            (le, bisect.bisect_right(self.values, le)) for le in sorted(bounds)
+        ]
+
+    def summary(
+        self, bucket_bounds: Optional[Sequence[float]] = DEFAULT_BUCKET_BOUNDS
+    ) -> dict[str, Any]:
+        """The export form: count/sum/min/mean/p50/p95/p99/max (+ buckets).
+
+        ``buckets`` — cumulative ``[le, count]`` pairs — ride along so
+        histograms survive the Prometheus round-trip; pass
+        ``bucket_bounds=None`` to omit them.  Scalar-only consumers (CSV)
+        skip the non-scalar field.
+        """
+        out: dict[str, Any] = {
             "count": float(self.count),
             "sum": self.total,
             "min": self.min,
@@ -88,6 +123,9 @@ class Histogram:
             "p99": self.percentile(99),
             "max": self.max,
         }
+        if bucket_bounds is not None:
+            out["buckets"] = [list(b) for b in self.buckets(bucket_bounds)]
+        return out
 
     def __len__(self) -> int:
         return len(self.values)
@@ -125,7 +163,7 @@ class MetricsSnapshot:
 
     sim_time_s: float
     samples: list[Sample] = field(default_factory=list)
-    histograms: dict[tuple[str, tuple[tuple[str, str], ...]], dict[str, float]] = field(
+    histograms: dict[tuple[str, tuple[tuple[str, str], ...]], dict[str, Any]] = field(
         default_factory=dict
     )
     spans: list = field(default_factory=list)  # list[SpanRecord]
@@ -155,7 +193,7 @@ class MetricsSnapshot:
         """Sum over all matching samples (0.0 if none)."""
         return sum(s.value for s in self.select(name, **criteria))
 
-    def histogram(self, name: str, **labels: Any) -> dict[str, float]:
+    def histogram(self, name: str, **labels: Any) -> dict[str, Any]:
         """A histogram's summary dict (KeyError if absent)."""
         return self.histograms[(name, labels_key(labels))]
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Iterator, Optional
 
+from .journey import JourneyRecorder, SamplePredicate
 from .metrics import Histogram, MetricsSnapshot, labels_key
 from .spans import Span, SpanLog
 from .timeline import MetricsTimeline
@@ -32,6 +33,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..net.network import Network
     from ..net.packet import Packet
     from ..sdn.controller import Controller
+    from .flight import FlightRecorder
 
 __all__ = ["Observer"]
 
@@ -54,6 +56,7 @@ class Observer:
         self.spans = SpanLog()
         self._histograms: dict[tuple[str, tuple[tuple[str, str], ...]], Histogram] = {}
         self.timeline: Optional[MetricsTimeline] = None
+        self.journey: Optional["JourneyRecorder"] = None
 
     # -- construction -------------------------------------------------------
     @classmethod
@@ -82,6 +85,9 @@ class Observer:
                 host.obs = None
         if self.mic is not None and getattr(self.mic, "obs", None) is self:
             self.mic.obs = None
+        if self.journey is not None:
+            self.journey.detach()
+            self.journey = None
         self.stop_timeline()
 
     # -- histograms ---------------------------------------------------------
@@ -119,6 +125,35 @@ class Observer:
         """Stop the periodic sampler if one is running."""
         if self.timeline is not None:
             self.timeline.stop()
+
+    # -- journey tracing ----------------------------------------------------
+    def start_journey(
+        self,
+        *,
+        sample_rate: float = 1.0,
+        predicate: Optional[SamplePredicate] = None,
+        flight: Optional["FlightRecorder"] = None,
+    ) -> JourneyRecorder:
+        """Attach (or return the already-attached) per-packet journey tracer.
+
+        If the MC is known and any channels are live, the recorder's intent
+        map stays cold until :meth:`arm_intent` — arm explicitly after
+        establishing channels to enable divergence checking.
+        """
+        if self.journey is None:
+            self.journey = JourneyRecorder.attach(
+                self.net,
+                sample_rate=sample_rate,
+                predicate=predicate,
+                flight=flight,
+            )
+        return self.journey
+
+    def arm_intent(self) -> int:
+        """Arm divergence checking from the MC's live channel plans."""
+        if self.journey is None or self.mic is None:
+            return 0
+        return self.journey.arm_intent(self.mic)
 
     def channels(self) -> Iterator["Channel"]:
         """Every directed link channel in the network, stable order."""

@@ -1,0 +1,174 @@
+"""Perfetto / Chrome trace-event exporter for packet journeys.
+
+Renders a journey dump as trace-event JSON (the ``{"traceEvents": [...]}``
+document Chrome's ``about:tracing`` and https://ui.perfetto.dev load
+natively): one *process* track per network location (host, switch, or
+directed channel), one *thread* lane per wire content (``content_tag``),
+with
+
+* ``X`` (complete) slices for switch hops — ingress to egress, rewrite
+  old→new annotated in ``args`` — and for link transits (queue wait +
+  serialization + propagation),
+* ``i`` (instant) marks for anomalies and endpoints (miss, drop, TTL
+  death, divergence, foreign drop, host tx/rx),
+* ``s``/``t``/``f`` flow arrows stitching one content tag's hops across
+  tracks, so a packet's whole journey is clickable end-to-end even though
+  every header on the wire changed.
+
+Timestamps are microseconds of sim time, as the format requires.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Union
+
+from .journey import JourneyRecorder, journeys_to_json
+
+__all__ = ["to_perfetto", "write_perfetto"]
+
+_US = 1e6
+
+#: event kinds rendered as instant marks, with display names
+_INSTANT_NAMES = {
+    "host.tx": "tx",
+    "host.rx": "rx",
+    "host.foreign_drop": "foreign_drop",
+    "switch.miss": "miss",
+    "switch.ttl_expired": "ttl_expired",
+    "switch.divergence": "DIVERGENCE",
+    "link.drop": "drop",
+}
+
+
+def _doc_of(source: Union[JourneyRecorder, dict[str, Any]]) -> dict[str, Any]:
+    if isinstance(source, JourneyRecorder):
+        return journeys_to_json(source)
+    return source
+
+
+class _Tracks:
+    """Deterministic pid/tid assignment with metadata events."""
+
+    def __init__(self, events: list[dict[str, Any]]):
+        self.events = events
+        self._pids: dict[str, int] = {}
+        self._tids: dict[tuple[int, int], int] = {}
+
+    def pid(self, where: str) -> int:
+        pid = self._pids.get(where)
+        if pid is None:
+            pid = self._pids[where] = len(self._pids) + 1
+            self.events.append({
+                "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                "args": {"name": where},
+            })
+        return pid
+
+    def tid(self, pid: int, content_tag: int) -> int:
+        tid = self._tids.get((pid, content_tag))
+        if tid is None:
+            tid = self._tids[(pid, content_tag)] = (
+                sum(1 for p, _ in self._tids if p == pid) + 1
+            )
+            self.events.append({
+                "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                "args": {"name": f"tag {content_tag}"},
+            })
+        return tid
+
+
+def to_perfetto(source: Union[JourneyRecorder, dict[str, Any]]) -> dict[str, Any]:
+    """Build the trace-event document from a recorder or a journey dump."""
+    doc = _doc_of(source)
+    events: list[dict[str, Any]] = []
+    tracks = _Tracks(events)
+
+    for journey in doc.get("journeys", []):
+        tag = journey["content_tag"]
+        flow_open = False
+        # open switch hops: (where, uid) -> (ts_us, ingress detail, rewrite)
+        open_hops: dict[tuple[str, int], dict[str, Any]] = {}
+        for ev in journey["events"]:
+            kind, where = ev["kind"], ev["where"]
+            ts = ev["time_s"] * _US
+            detail = ev["detail"]
+            pid = tracks.pid(where)
+            tid = tracks.tid(pid, tag)
+            base = {"pid": pid, "tid": tid, "cat": "journey"}
+
+            if kind == "switch.ingress":
+                open_hops[(where, ev["uid"])] = {
+                    "ts": ts, "in_port": detail["in_port"],
+                    "header": detail["header"], "rewrite": None, "closed": False,
+                }
+                # flow step arrow into this switch's lane
+                events.append({
+                    **base, "ph": "t" if flow_open else "s", "id": tag,
+                    "name": f"tag {tag}", "ts": ts,
+                })
+                flow_open = True
+            elif kind == "switch.rewrite":
+                hop = open_hops.get((where, ev["uid"]))
+                if hop is not None:
+                    hop["rewrite"] = {
+                        "old": detail["old"], "new": detail["new"],
+                        "entry_id": detail["entry_id"], "cookie": detail["cookie"],
+                    }
+            elif kind == "switch.egress":
+                hop = open_hops.get((where, detail["parent_uid"]))
+                if hop is not None and not hop["closed"]:
+                    hop["closed"] = True
+                    args: dict[str, Any] = {
+                        "in_port": hop["in_port"],
+                        "ingress_header": hop["header"],
+                        "egress_header": detail["header"],
+                        "out_port": detail["out_port"],
+                    }
+                    name = "forward"
+                    if hop["rewrite"] is not None:
+                        rw = hop["rewrite"]
+                        args["rewrite"] = f"{tuple(rw['old'])} -> {tuple(rw['new'])}"
+                        args["entry_id"] = rw["entry_id"]
+                        args["cookie"] = rw["cookie"]
+                        name = "rewrite+forward"
+                    events.append({
+                        **base, "ph": "X", "name": name, "ts": hop["ts"],
+                        "dur": max(0.0, ts - hop["ts"]), "args": args,
+                    })
+            elif kind == "link.tx":
+                dur = (
+                    detail["queue_wait_s"] + detail["serialize_s"]
+                    + detail["delay_s"]
+                ) * _US
+                events.append({
+                    **base, "ph": "X", "name": "transit", "ts": ts, "dur": dur,
+                    "args": {
+                        "queue_wait_us": detail["queue_wait_s"] * _US,
+                        "serialize_us": detail["serialize_s"] * _US,
+                        "propagation_us": detail["delay_s"] * _US,
+                        "backlog_bytes": detail["backlog_bytes"],
+                        "size": detail["size"],
+                    },
+                })
+            if kind in _INSTANT_NAMES:
+                events.append({
+                    **base, "ph": "i", "s": "t",
+                    "name": _INSTANT_NAMES[kind], "ts": ts,
+                    "args": {"uid": ev["uid"], **detail},
+                })
+            if kind == "host.rx" and flow_open:
+                events.append({
+                    **base, "ph": "f", "bp": "e", "id": tag,
+                    "name": f"tag {tag}", "ts": ts,
+                })
+
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_perfetto(
+    source: Union[JourneyRecorder, dict[str, Any]], path: str
+) -> None:
+    """Write the trace-event JSON to ``path``."""
+    with open(path, "w") as fh:
+        json.dump(to_perfetto(source), fh, indent=1)

@@ -1,0 +1,216 @@
+"""Adversary success scored against exact journey ground truth.
+
+The correlation attack reports what the attacker *believes*
+(:func:`correlate_at_mn`); these tests score the same attacker against the
+journey recorder's exact labels — including which multicast egress copy was
+the real continuation and which were decoys — so success probability is
+measured, not assumed.
+"""
+
+import pytest
+
+from repro.attacks import (
+    ObservationPoint,
+    correlate_at_mn,
+    correlate_with_truth,
+    empirical_anonymity,
+    expected_uniform_accuracy,
+)
+from repro.core import MicEndpoint, MicServer, MimicController
+from repro.net import (
+    FlowEntry,
+    Group,
+    GroupEntry,
+    Match,
+    Network,
+    Output,
+    SetField,
+    fat_tree,
+    linear,
+)
+from repro.obs import JourneyRecorder
+from repro.sdn import Controller, L3ShortestPathApp
+
+
+# ---------------------------------------------------------------------------
+# scripted: one packet, one decoy, exact numbers
+# ---------------------------------------------------------------------------
+
+
+def _scripted_decoy_run():
+    """h1 -> s1 -> s2 (group: real to s3, decoy to h2) -> s3 -> h3."""
+    net = Network(linear(3, hosts_per_switch=1), seed=3)
+    h1, h2, h3 = net.host("h1"), net.host("h2"), net.host("h3")
+    net.switch("s1").table.install(
+        FlowEntry(Match(ip_dst=h3.ip), [Output(net.port("s1", "s2"))])
+    )
+    net.switch("s2").table.install_group(
+        GroupEntry(
+            group_id=1,
+            buckets=[
+                [SetField("ip_src", h2.ip), Output(net.port("s2", "s3"))],
+                [Output(net.port("s2", "h2"))],
+            ],
+        )
+    )
+    net.switch("s2").table.install(
+        FlowEntry(Match(ip_dst=h3.ip), [Group(1)])
+    )
+    net.switch("s3").table.install(
+        FlowEntry(Match(ip_dst=h3.ip), [Output(net.port("s3", "h3"))])
+    )
+    h3.bind("tcp", 80, lambda host, p: None)
+    point = ObservationPoint(net, "s2")
+    rec = JourneyRecorder.attach(net)
+    h1.send_packet(h1.make_packet(h3.ip, sport=1234, dport=80, payload_size=64))
+    net.run()
+    return net, point, rec
+
+
+def test_scripted_decoy_scores_exactly_one_half():
+    """1 real + 1 decoy egress copy: the believing attacker reports 1/2
+    confidence, and the measured ground-truth accuracy is exactly 1/2."""
+    net, point, rec = _scripted_decoy_run()
+    journeys = rec.journeys_by_content_tag()
+
+    believed = correlate_at_mn(point)
+    assert believed.total_ingress == 1
+    assert believed.mean_candidates == 2.0
+    assert believed.confidence == 0.5
+
+    truth = correlate_with_truth(point, journeys)
+    assert truth.total_ingress == 1
+    assert truth.matched == 1
+    assert truth.linkable == 1  # the true copy is among the candidates
+    assert truth.true_candidates == 1
+    assert truth.decoy_candidates == 1
+    assert truth.expected_accuracy == 0.5  # exactly 1/(k+1), k=1
+    assert truth.match_rate == 1.0
+    assert truth.decoy_fraction == 0.5
+
+
+def test_unsampled_journeys_give_zero_accuracy():
+    """Without labels, nothing is linkable: the attack still matches
+    candidates, but the measured accuracy collapses to zero."""
+    net, point, rec = _scripted_decoy_run()
+    truth = correlate_with_truth(point, {})  # adversary has no ground truth
+    assert truth.matched == 1
+    assert truth.linkable == 0
+    assert truth.expected_accuracy == 0.0
+    assert truth.decoy_fraction == 1.0  # every candidate counts as unproven
+
+
+def test_scripted_empirical_anonymity():
+    net, point, rec = _scripted_decoy_run()
+    emp = empirical_anonymity(point, rec.journeys_by_content_tag())
+    assert emp.switch == "s2"
+    assert emp.observed_tags == 1
+    assert emp.labeled_tags == 1
+    assert emp.true_senders == frozenset({"h1"})
+    # the decoy died at h2's NIC: h2 is NOT an empirical receiver
+    assert emp.true_receivers == frozenset({"h3"})
+    assert emp.sender_set_size == 1 and emp.receiver_set_size == 1
+
+
+# ---------------------------------------------------------------------------
+# full MIC channel with partial multicast
+# ---------------------------------------------------------------------------
+
+
+def _mic_decoy_run(decoys=2, seed=0):
+    net = Network(fat_tree(4), seed=seed)
+    ctrl = Controller(net)
+    mic = ctrl.register(MimicController())
+    ctrl.register(L3ShortestPathApp())
+    rec = JourneyRecorder.attach(net)
+    server = MicServer(net.host("h16"), 80)
+    endpoint = MicEndpoint(net.host("h1"), mic)
+    state = {}
+
+    def client():
+        stream = yield from endpoint.connect(
+            "h16", service_port=80, n_mns=3, decoys=decoys
+        )
+        stream.send(b"x" * 2000)
+        yield from stream.recv_exactly(100)
+        state["done"] = True
+
+    def srv():
+        stream = yield server.accept()
+        yield from stream.recv_exactly(2000)
+        stream.send(b"y" * 100)
+
+    # the adversary compromises every switch up front; we score at the MNs
+    points = {
+        name: ObservationPoint(net, name) for name in net.topo.switches()
+    }
+    net.sim.process(client())
+    net.sim.process(srv())
+    net.run(until=60.0)
+    assert state.get("done")
+    plan = next(iter(mic.channels.values())).flows[0]
+    return net, points, rec, plan
+
+
+def test_decoys_cut_measured_accuracy_at_the_first_mn():
+    net, points, rec, plan = _mic_decoy_run(decoys=2)
+    journeys = rec.journeys_by_content_tag()
+    first_mn = plan.walk[plan.mn_positions[0]]
+    truth = correlate_with_truth(points[first_mn], journeys)
+    # the true continuation is always among the content-matched candidates
+    assert truth.matched > 0
+    assert truth.linkable == truth.matched
+    # the decoy copies dilute the attacker below certainty
+    assert truth.decoy_candidates > 0
+    assert truth.expected_accuracy < 1.0
+    # ... and by at least the forward-direction 1/(k+1) dilution on the
+    # payload packets: strictly better than chance overall, worse than 1
+    assert 0.0 < truth.expected_accuracy
+
+    # downstream of the decoy branch, every candidate is the real copy
+    later_mn = plan.walk[plan.mn_positions[-1]]
+    downstream = correlate_with_truth(points[later_mn], journeys)
+    assert downstream.matched > 0
+    assert downstream.decoy_candidates == 0
+    assert downstream.expected_accuracy == 1.0
+    assert truth.expected_accuracy < downstream.expected_accuracy
+
+
+def test_no_decoys_means_full_measured_accuracy():
+    net, points, rec, plan = _mic_decoy_run(decoys=0)
+    journeys = rec.journeys_by_content_tag()
+    for pos in plan.mn_positions:
+        truth = correlate_with_truth(points[plan.walk[pos]], journeys)
+        assert truth.matched > 0
+        assert truth.decoy_candidates == 0
+        assert truth.expected_accuracy == 1.0
+
+
+def test_mic_empirical_anonymity_labels_the_real_pair():
+    net, points, rec, plan = _mic_decoy_run(decoys=2)
+    journeys = rec.journeys_by_content_tag()
+    first_mn = plan.walk[plan.mn_positions[0]]
+    emp = empirical_anonymity(points[first_mn], journeys)
+    assert emp.labeled_tags > 0
+    assert emp.labeled_tags <= emp.observed_tags
+    assert "h1" in emp.true_senders
+    assert "h16" in emp.true_receivers
+    # decoy copies never deliver: no innocent host shows up as a receiver
+    assert emp.true_receivers <= {"h1", "h16"}
+
+
+# ---------------------------------------------------------------------------
+# the shared scoring helper
+# ---------------------------------------------------------------------------
+
+
+def test_expected_uniform_accuracy():
+    acc = expected_uniform_accuracy(
+        [{1, 2}, {3}, set()],
+        [{1}, {4}, {5}],
+    )
+    # empty candidate sets don't count; mean(1/2, 0/1) = 0.25
+    assert acc == 0.25
+    assert expected_uniform_accuracy([], []) == 0.0
+    with pytest.raises(ValueError):
+        expected_uniform_accuracy([{1}], [])

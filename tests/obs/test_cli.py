@@ -60,3 +60,50 @@ def test_summarize_round_trips(capsys, demo_exports):
     assert "snapshot @ t=2.000000s" in out
     assert "switch.rule.packets" in out
     assert "span mic.connect" in out
+
+
+@pytest.fixture(scope="module")
+def journey_exports(tmp_path_factory):
+    """One journey run exporting the dump and the Perfetto trace."""
+    d = tmp_path_factory.mktemp("obs-journey")
+    paths = {
+        "dump": str(d / "journeys.json"),
+        "perfetto": str(d / "trace.json"),
+    }
+    rc = main([
+        "journey", "--horizon", "5", "--decoys", "2",
+        "--dump", paths["dump"], "--perfetto", paths["perfetto"],
+    ])
+    assert rc == 0
+    return paths
+
+
+def test_journey_prints_hop_table(capsys, journey_exports):
+    main(["journey", "--horizon", "5", "--decoys", "0"])
+    out = capsys.readouterr().out
+    assert "journey dump @" in out
+    assert "delivered: h16" in out
+    assert "top rewrites" in out
+
+
+def test_journey_dump_document(journey_exports):
+    doc = json.loads(open(journey_exports["dump"], encoding="utf-8").read())
+    assert doc["journeys"], "journey dump is empty"
+    kinds = {e["kind"] for j in doc["journeys"] for e in j["events"]}
+    assert "switch.rewrite" in kinds and "host.rx" in kinds
+    # the flight recorder rode along and stayed silent on the healthy run
+    assert doc["flight_dumps"] == []
+
+
+def test_journey_perfetto_export_is_trace_event_json(journey_exports):
+    doc = json.loads(open(journey_exports["perfetto"], encoding="utf-8").read())
+    assert set(doc) == {"traceEvents", "displayTimeUnit"}
+    phases = {e["ph"] for e in doc["traceEvents"]}
+    assert {"X", "M", "i", "s", "f"} <= phases
+
+
+def test_summarize_detects_journey_dumps(capsys, journey_exports):
+    assert main(["summarize", journey_exports["dump"]]) == 0
+    out = capsys.readouterr().out
+    assert "journey dump @" in out
+    assert "worst queue waits" in out

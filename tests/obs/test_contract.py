@@ -13,20 +13,35 @@ import pytest
 
 from repro.core import deploy_mic
 from repro.net import FlowEntry, Match, Network, Output, linear
-from repro.obs import CONTRACT, Observer, contract_names, format_contract_table, spec
+from repro.obs import (
+    ANOMALY_TRIGGERS,
+    CONTRACT,
+    JOURNEY_EVENTS,
+    Observer,
+    contract_names,
+    format_contract_table,
+    format_journey_table,
+    format_trigger_table,
+    spec,
+)
 
 DOC = Path(__file__).resolve().parents[2] / "docs" / "observability.md"
 BEGIN = "<!-- contract-table:begin"
 END = "<!-- contract-table:end"
 
 
-def doc_table() -> str:
-    """The contract table embedded in docs/observability.md."""
+def _embedded_table(begin: str, end: str) -> str:
+    """A marker-delimited table embedded in docs/observability.md."""
     text = DOC.read_text(encoding="utf-8")
-    assert BEGIN in text and END in text, "contract-table markers missing"
-    inner = text.split(BEGIN, 1)[1].split(END, 1)[0]
+    assert begin in text and end in text, f"{begin} ... {end} markers missing"
+    inner = text.split(begin, 1)[1].split(end, 1)[0]
     # Drop the remainder of the begin-marker comment line itself.
     return inner.split("-->", 1)[1].strip()
+
+
+def doc_table() -> str:
+    """The contract table embedded in docs/observability.md."""
+    return _embedded_table(BEGIN, END)
 
 
 def test_doc_table_matches_registry_exactly():
@@ -50,6 +65,38 @@ def test_contract_names_unique_and_typed():
 def test_table_has_one_row_per_spec():
     rows = [ln for ln in format_contract_table().splitlines() if ln.startswith("| `")]
     assert len(rows) == len(CONTRACT)
+
+
+def test_journey_doc_table_matches_schema_exactly():
+    """The journey event schema is contract-diffed both ways, like the
+    metrics table: a kind exists in the doc iff it exists in code."""
+    embedded = _embedded_table(
+        "<!-- journey-table:begin", "<!-- journey-table:end"
+    )
+    assert embedded == format_journey_table(), (
+        "docs/observability.md journey table is stale — paste the output of "
+        "repro.obs.journey.format_journey_table() between the markers"
+    )
+    rows = [ln for ln in embedded.splitlines() if ln.startswith("| `")]
+    assert len(rows) == len(JOURNEY_EVENTS)
+    kinds = [spec_.kind for spec_ in JOURNEY_EVENTS]
+    assert len(kinds) == len(set(kinds))
+
+
+def test_trigger_doc_table_matches_contract_exactly():
+    embedded = _embedded_table(
+        "<!-- trigger-table:begin", "<!-- trigger-table:end"
+    )
+    assert embedded == format_trigger_table(), (
+        "docs/observability.md trigger table is stale — paste the output of "
+        "repro.obs.flight.format_trigger_table() between the markers"
+    )
+    rows = [ln for ln in embedded.splitlines() if ln.startswith("| `")]
+    assert len(rows) == len(ANOMALY_TRIGGERS)
+    # every trigger's event kind is itself a contracted journey event
+    journey_kinds = {spec_.kind for spec_ in JOURNEY_EVENTS}
+    for trig in ANOMALY_TRIGGERS:
+        assert trig.event_kind in journey_kinds, trig.name
 
 
 def _observed_names() -> set[str]:

@@ -1,13 +1,17 @@
 """Exporter formats: JSON round-trip, CSV rows, Prometheus text."""
 
 import json
+import math
 
 import pytest
 
 from repro.obs import (
+    DEFAULT_BUCKET_BOUNDS,
     Histogram,
     MetricsSnapshot,
     SpanLog,
+    buckets_from_prometheus,
+    parse_prometheus,
     to_csv,
     to_json,
     to_prometheus,
@@ -78,6 +82,72 @@ def test_prometheus_text(snap):
     # HELP text comes from the contract's "fires" column.
     assert "# HELP port_tx_packets the port's transmit channel accepts a packet" in text
     assert "mic_establish" not in text  # spans have no Prometheus mapping
+
+
+def test_summary_carries_cumulative_buckets():
+    hist = Histogram()
+    for v in (0.0005, 0.0015, 0.0015, 0.4):
+        hist.observe(v)
+    summary = hist.summary()
+    buckets = summary["buckets"]
+    assert len(buckets) == len(DEFAULT_BUCKET_BOUNDS)
+    les = [le for le, _ in buckets]
+    assert les == sorted(les)
+    cums = [c for _, c in buckets]
+    assert cums == sorted(cums)  # cumulative: monotone non-decreasing
+    assert cums[-1] == hist.count  # everything fits under 10 s here
+    by_le = dict(map(tuple, buckets))
+    assert by_le[0.001] == 1  # only the 0.5 ms observation
+    assert by_le[0.002] == 3
+    assert by_le[0.5] == 4
+    # opt out for scalar-only consumers
+    assert "buckets" not in hist.summary(bucket_bounds=None)
+
+
+def test_default_bucket_bounds_are_a_1_2_5_ladder():
+    assert list(DEFAULT_BUCKET_BOUNDS) == sorted(DEFAULT_BUCKET_BOUNDS)
+    assert DEFAULT_BUCKET_BOUNDS[0] == 1e-6
+    assert DEFAULT_BUCKET_BOUNDS[-1] == 10.0
+    assert 2e-3 in DEFAULT_BUCKET_BOUNDS and 5e-2 in DEFAULT_BUCKET_BOUNDS
+
+
+def test_histogram_style_prometheus_round_trips(snap):
+    """satellite check: bucket counts survive export → parse → reassembly."""
+    text = to_prometheus(snap, histogram_style="histogram")
+    assert "# TYPE net_packet_latency_s histogram" in text
+    assert 'net_packet_latency_s_bucket{host="h3",le="+Inf"} 3' in text
+    # quantile series belong to the summary style only
+    assert "quantile=" not in text
+    # _sum/_count survive in both styles
+    assert 'net_packet_latency_s_sum{host="h3"} 0.006' in text
+    assert 'net_packet_latency_s_count{host="h3"} 3' in text
+
+    parsed = parse_prometheus(text)
+    assert parsed["port_tx_packets"] == [({"node": "h1", "port": "0"}, 7.0)]
+    round_tripped = buckets_from_prometheus(parsed, "net_packet_latency_s")
+    hist = Histogram()
+    for v in (0.001, 0.002, 0.003):
+        hist.observe(v)
+    expected = [(le, cum) for le, cum in hist.buckets()] + [
+        (math.inf, hist.count)
+    ]
+    assert len(round_tripped) == len(expected)
+    for (le_rt, cum_rt), (le_ex, cum_ex) in zip(round_tripped, expected):
+        # the %g exposition rounds bounds like 5*1e-6 to the nearest float
+        assert le_rt == pytest.approx(le_ex, rel=1e-9)
+        assert cum_rt == cum_ex
+
+
+def test_summary_style_is_unchanged_by_default(snap):
+    assert to_prometheus(snap) == to_prometheus(snap, histogram_style="summary")
+    with pytest.raises(ValueError):
+        to_prometheus(snap, histogram_style="both")
+
+
+def test_csv_skips_structured_bucket_field(snap):
+    # the summary now carries a "buckets" list; CSV stays scalar rows only
+    for line in to_csv(snap).splitlines():
+        assert "buckets" not in line
 
 
 def test_empty_snapshot_exports(tmp_path):

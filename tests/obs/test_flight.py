@@ -1,0 +1,151 @@
+"""Flight recorder: bounded rings, anomaly triggers, dump discipline."""
+
+import json
+
+import pytest
+
+from repro.net import FlowEntry, Match, Network, Output, linear
+from repro.obs import (
+    ANOMALY_TRIGGERS,
+    DEFAULT_TRIGGERS,
+    FlightRecorder,
+    JourneyRecorder,
+)
+
+
+def _wired(seed=5, install=True):
+    """linear(2): h1 -> s1 -> s2 -> h2, optionally with the route installed."""
+    net = Network(linear(2, hosts_per_switch=1), seed=seed)
+    h1, h2 = net.host("h1"), net.host("h2")
+    if install:
+        net.switch("s1").table.install(
+            FlowEntry(Match(ip_dst=h2.ip), [Output(net.port("s1", "s2"))])
+        )
+        net.switch("s2").table.install(
+            FlowEntry(Match(ip_dst=h2.ip), [Output(net.port("s2", "h2"))])
+        )
+    h2.bind("tcp", 80, lambda host, p: None)
+    return net, h1, h2
+
+
+def _attach(net, **kwargs):
+    flight = FlightRecorder(**kwargs)
+    JourneyRecorder.attach(net, flight=flight)
+    return flight
+
+
+def test_rings_stay_bounded_at_capacity():
+    net, h1, h2 = _wired()
+    flight = _attach(net, capacity=3)
+    for i in range(20):
+        h1.send_packet(h1.make_packet(h2.ip, sport=i + 1, dport=80,
+                                      payload_size=64))
+    net.run()
+    assert flight.locations()  # hosts, switches and channels all retained
+    assert {"h1", "s1", "s2", "h2"} <= set(flight.locations())
+    for where in flight.locations():
+        assert 1 <= len(flight.ring(where)) <= 3
+    # the ring keeps the *latest* events: h1's last tx is the 20th packet
+    assert flight.ring("h1")[-1].detail["size"] >= 64
+    assert flight.dumps == []  # healthy run
+
+
+def test_drop_trigger_dumps_with_context():
+    net, h1, h2 = _wired()
+    flight = _attach(net, capacity=8)
+    # one healthy delivery first, so the rings have context to snapshot
+    h1.send_packet(h1.make_packet(h2.ip, sport=1, dport=80, payload_size=64))
+    net.run()
+    net.link_between("s1", "s2").set_up(False)
+    h1.send_packet(h1.make_packet(h2.ip, sport=2, dport=80, payload_size=64))
+    net.run()
+    (dump,) = flight.dumps
+    assert dump.trigger == "drop"
+    assert dump.cause.kind == "link.drop"
+    assert dump.time_s <= net.sim.now
+    # the snapshot holds the events leading up to the anomaly at every
+    # location, including the healthy delivery before it
+    assert any(e.kind == "host.rx" for e in dump.events["h2"])
+    doc = dump.to_dict()
+    json.dumps(doc)  # JSON-serializable as-is
+    assert doc["trigger"] == "drop"
+    assert doc["cause"]["kind"] == "link.drop"
+
+
+def test_ttl_trigger():
+    net, h1, h2 = _wired()
+    flight = _attach(net)
+    p = h1.make_packet(h2.ip, sport=1, dport=80, payload_size=64)
+    p.ttl = 1
+    h1.send_packet(p)
+    net.run()
+    assert [d.trigger for d in flight.dumps] == ["ttl_expired"]
+    assert flight.dumps[0].cause.kind == "switch.ttl_expired"
+
+
+def test_queue_depth_trigger_needs_a_threshold():
+    # threshold None (default): a burst builds backlog but never dumps
+    net, h1, h2 = _wired()
+    flight = _attach(net)
+    for i in range(6):
+        h1.send_packet(h1.make_packet(h2.ip, sport=i + 1, dport=80,
+                                      payload_size=1000))
+    net.run()
+    assert flight.dumps == []
+
+    # with a 1-byte threshold the same burst dumps on the queued packets
+    net, h1, h2 = _wired()
+    flight = _attach(net, queue_threshold_bytes=1)
+    for i in range(6):
+        h1.send_packet(h1.make_packet(h2.ip, sport=i + 1, dport=80,
+                                      payload_size=1000))
+    net.run()
+    assert flight.dumps
+    assert all(d.trigger == "queue_depth" for d in flight.dumps)
+    assert all(d.cause.detail["backlog_bytes"] >= 1 for d in flight.dumps)
+
+
+def test_miss_is_opt_in():
+    # default triggers: a table miss is recorded but never dumps
+    net, h1, h2 = _wired(install=False)
+    flight = _attach(net)
+    h1.send_packet(h1.make_packet(h2.ip, sport=1, dport=80, payload_size=64))
+    net.run()
+    assert any(e.kind == "switch.miss" for e in flight.ring("s1"))
+    assert flight.dumps == []
+
+    # opted in, the same scenario dumps
+    net, h1, h2 = _wired(install=False)
+    flight = _attach(net, triggers=DEFAULT_TRIGGERS | {"miss"})
+    h1.send_packet(h1.make_packet(h2.ip, sport=1, dport=80, payload_size=64))
+    net.run()
+    assert [d.trigger for d in flight.dumps] == ["miss"]
+
+
+def test_max_dumps_bounds_an_anomaly_storm():
+    net, h1, h2 = _wired()
+    flight = _attach(net, max_dumps=2)
+    net.link_between("s1", "s2").set_up(False)
+    for i in range(5):
+        h1.send_packet(h1.make_packet(h2.ip, sport=i + 1, dport=80,
+                                      payload_size=64))
+    net.run()
+    assert len(flight.dumps) == 2
+    assert flight.dumps_suppressed == 3
+    assert len(flight) == 2
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        FlightRecorder(capacity=0)
+    with pytest.raises(ValueError):
+        FlightRecorder(triggers=["drop", "nonsense"])
+    # every contracted trigger name is accepted
+    FlightRecorder(triggers=[t.name for t in ANOMALY_TRIGGERS])
+
+
+def test_default_triggers_match_the_contract():
+    assert DEFAULT_TRIGGERS == {
+        t.name for t in ANOMALY_TRIGGERS if t.default
+    }
+    assert "miss" not in DEFAULT_TRIGGERS

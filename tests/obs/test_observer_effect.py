@@ -29,10 +29,20 @@ def _reset_id_counters():
     controller._cookie_ids = itertools.count(0x4D49_0000)
 
 
-def _echo_run(observe: bool, timeline_period: float = 0.0, seed: int = 7):
+def _echo_run(
+    observe: bool,
+    timeline_period: float = 0.0,
+    seed: int = 7,
+    journey_kwargs: dict = None,
+):
     """One seeded MIC echo h1 <-> h16; returns (trace reprs, final sim time)."""
     _reset_id_counters()
-    dep = deploy_mic(seed=seed, observe=observe)
+    dep = deploy_mic(
+        seed=seed,
+        observe=observe,
+        journey=journey_kwargs is not None,
+        journey_kwargs=journey_kwargs,
+    )
     if observe and timeline_period > 0:
         dep.obs.start_timeline(timeline_period)
     server = dep.server("h16", 80)
@@ -86,3 +96,63 @@ def test_detach_restores_the_unhooked_state():
     dep.obs.detach()
     assert all(h.obs is None for h in dep.net.hosts())
     assert dep.mic.obs is None
+
+
+def test_journey_sampling_zero_is_byte_identical():
+    """A rate-0 recorder without predicate or flight is statically dead:
+    attach() installs no hooks, so the disabled default costs nothing and
+    the trace is byte-identical by construction — verified anyway."""
+    plain, t_plain, _ = _echo_run(observe=False)
+    seen, t_seen, dep = _echo_run(
+        observe=True, journey_kwargs={"sample_rate": 0.0}
+    )
+    assert t_plain == t_seen
+    assert plain == seen
+    assert len(dep.journey.journeys_by_content_tag()) == 0
+    assert dep.journey.never_records
+    assert all(sw.journey is None for sw in dep.net.switches())
+
+
+def test_journey_full_sampling_is_byte_identical():
+    """Even full-fidelity tracing perturbs nothing the sim can see."""
+    plain, t_plain, _ = _echo_run(observe=False)
+    seen, t_seen, dep = _echo_run(
+        observe=True, journey_kwargs={"sample_rate": 1.0}
+    )
+    assert t_plain == t_seen
+    assert plain == seen
+    # ... and the recorder actually recorded full journeys (not vacuous).
+    journeys = dep.journey.journeys_by_content_tag()
+    assert journeys
+    assert any("h16" in j.delivered_to() for j in journeys.values())
+
+
+def test_flight_armed_untriggered_is_byte_identical():
+    """An armed flight recorder processes every packet (sampling or not),
+    keeps its rings bounded, fires no trigger on a healthy run — and the
+    trace stays byte-identical."""
+    from repro.obs import FlightRecorder
+
+    plain, t_plain, _ = _echo_run(observe=False)
+    flight = FlightRecorder(capacity=16)
+    seen, t_seen, dep = _echo_run(
+        observe=True, journey_kwargs={"sample_rate": 0.0, "flight": flight}
+    )
+    assert t_plain == t_seen
+    assert plain == seen
+    assert flight.dumps == []  # healthy run: armed but silent
+    assert flight.locations()  # ... yet the rings did see traffic
+    assert all(len(flight.ring(w)) <= 16 for w in flight.locations())
+    # sampling-zero still holds: the rings see packets, journeys don't
+    assert len(dep.journey.journeys_by_content_tag()) == 0
+
+
+def test_journey_detach_restores_the_unhooked_state():
+    _, _, dep = _echo_run(observe=True, journey_kwargs={})
+    dep.obs.detach()  # observer owns the journey recorder when both attach
+    assert all(h.journey is None for h in dep.net.hosts())
+    assert all(sw.journey is None for sw in dep.net.switches())
+    assert all(
+        link.forward.journey is None and link.reverse.journey is None
+        for link in dep.net.links
+    )

@@ -28,7 +28,8 @@ class TestHistogram:
 
     def test_empty_is_all_zero(self):
         s = Histogram().summary()
-        assert all(v == 0.0 for v in s.values())
+        assert all(v == 0.0 for k, v in s.items() if k != "buckets")
+        assert all(cum == 0 for _, cum in s["buckets"])
 
     def test_percentile_range_checked(self):
         h = Histogram()
