@@ -4,7 +4,7 @@ PYTHON ?= python
 # Same invocation the CI tier-1 gate uses (src/ layout, no install needed).
 PYPATH = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-verbose lint verify obs-demo journey-demo bench figures quick-figures examples clean
+.PHONY: install test test-verbose lint verify obs-demo journey-demo bench bench-quick figures quick-figures examples clean
 
 install:
 	pip install -e . --no-build-isolation || pip install -e .
@@ -46,6 +46,15 @@ journey-demo:
 
 bench:
 	$(PYPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# CI-sized benchmark slice: the classifier microbenchmark (vs the linear
+# reference) plus trimmed scalability sweeps, JSON results under
+# benchmarks/results/.
+bench-quick:
+	@mkdir -p benchmarks/results
+	BENCH_QUICK=1 $(PYPATH) $(PYTHON) -m pytest \
+		benchmarks/bench_lookup.py benchmarks/bench_scalability.py -q \
+		--benchmark-json=benchmarks/results/bench_quick.json
 
 figures:
 	$(PYPATH) $(PYTHON) -m repro.bench --save benchmarks/results

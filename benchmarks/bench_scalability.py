@@ -4,11 +4,27 @@ Measures the controller's real planning compute per channel request.  The
 paper's claim: thanks to the hash-based collision avoidance there is nearly
 no extra routing-calculation overhead, and cost is linear in the number of
 m-flows per channel.
+
+Also drives a full end-to-end MIC scenario on a k=8 fat tree (80 switches,
+128 hosts) — the topology scale the indexed classification pipeline exists
+for.
+
+Set ``BENCH_QUICK=1`` to trim the sweeps for CI (``make bench-quick``).
 """
 
-from repro.bench import scalability_routing_calculation, scalability_vs_fabric
+import os
 
-FLOW_COUNTS = (1, 2, 4, 8)
+from repro.bench import (
+    mic_fat_tree_scenario,
+    scalability_routing_calculation,
+    scalability_vs_fabric,
+)
+
+QUICK = bool(os.environ.get("BENCH_QUICK"))
+
+FLOW_COUNTS = (1, 2) if QUICK else (1, 2, 4, 8)
+FABRIC_KS = (4, 6) if QUICK else (4, 6, 8)
+SCENARIO_PAIRS = 2 if QUICK else 4
 
 
 def test_scalability_routing_calc(benchmark, save_table):
@@ -21,16 +37,18 @@ def test_scalability_routing_calc(benchmark, save_table):
     times = [result.value("MIC plan", n) for n in FLOW_COUNTS]
     # Monotone growth with |F| ...
     assert times[0] < times[-1]
-    # ... and roughly linear: 8 flows cost no more than ~16x one flow
+    # ... and roughly linear: n flows cost no more than ~2n x one flow
     # (generous bound; superlinear growth would flag an algorithmic bug).
-    assert times[-1] < times[0] * 16
+    assert times[-1] < times[0] * (FLOW_COUNTS[-1] // FLOW_COUNTS[0]) * 2
     # Absolute cost is tiny: planning a single-flow channel takes well under
     # ten milliseconds of controller compute even in pure Python.
     assert times[0] < 10e-3
 
 
 def test_scalability_vs_fabric(benchmark, save_table):
-    result = benchmark.pedantic(scalability_vs_fabric, rounds=1, iterations=1)
+    result = benchmark.pedantic(
+        lambda: scalability_vs_fabric(ks=FABRIC_KS), rounds=1, iterations=1,
+    )
     save_table("scalability_vs_fabric", result)
 
     labels = result.xs()
@@ -40,3 +58,18 @@ def test_scalability_vs_fabric(benchmark, save_table):
     # only cached path structures grow.  Generous bound: this is wall time
     # on a possibly-contended CPU.
     assert all(t < 60e-3 for t in times)
+
+
+def test_fat_tree8_mic_scenario(benchmark, save_table):
+    """End-to-end channels + echo on fat_tree(8): 80 switches, 128 hosts."""
+    result = benchmark.pedantic(
+        lambda: mic_fat_tree_scenario(k=8, n_pairs=SCENARIO_PAIRS),
+        rounds=1, iterations=1,
+    )
+    save_table("fat_tree8_mic_scenario", result)
+
+    assert result.value("scenario", "switches") == 80
+    assert result.value("scenario", "hosts") == 128
+    # Every channel came up and echoed its payload across the fabric.
+    assert result.value("scenario", "reply_ok") == 1.0
+    assert result.value("scenario", "mic_rules_total") > 0

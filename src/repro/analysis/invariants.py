@@ -137,7 +137,7 @@ def _replay_direction(
                 ))
             return
 
-        entry = winner_entry(table.entries, hdr)
+        entry = winner_entry(table.iter_entries(), hdr)
         if entry is None:
             report.add(_violation(
                 "blackhole",
@@ -277,7 +277,7 @@ def _trace_decoy(
             continue
         visited.add(state)
         table = tables[node]
-        entry = winner_entry(table.entries, cur)
+        entry = winner_entry(table.iter_entries(), cur)
         if entry is None:
             report.add(_violation(
                 "decoy-unterminated",

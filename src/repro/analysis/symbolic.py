@@ -20,7 +20,7 @@ the data plane is never perturbed by verification.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Any, Optional, Sequence
+from typing import Any, Iterable, Optional, Sequence
 
 from ..net.flowtable import (
     CONTROLLER_PORT,
@@ -244,7 +244,7 @@ def apply_actions(
 
 
 def winner_entry(
-    entries: Sequence[FlowEntry], hdr: SymbolicHeader
+    entries: Iterable[FlowEntry], hdr: SymbolicHeader
 ) -> Optional[FlowEntry]:
     """The entry a fully-concrete header would hit, or None on table miss."""
     for entry in entries:
@@ -254,7 +254,7 @@ def winner_entry(
 
 
 def candidate_entries(
-    entries: Sequence[FlowEntry], hdr: SymbolicHeader
+    entries: Iterable[FlowEntry], hdr: SymbolicHeader
 ) -> list[FlowEntry]:
     """Entries some packet of ``hdr`` could hit, in priority order.
 

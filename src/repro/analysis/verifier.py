@@ -78,7 +78,8 @@ def verify_tables(net: Network, report: VerificationReport) -> None:
     """Per-switch structural checks on every installed table."""
     neighbors = port_neighbor_map(net)
     for sw in net.switches():
-        entries = sw.table.entries  # priority-desc, insertion-order snapshot
+        # Entry-view snapshot: priority-desc, insertion order.
+        entries = list(sw.table.iter_entries())
         groups = sw.table.groups
         report.checked_switches += 1
         report.checked_rules += len(entries)
@@ -193,13 +194,14 @@ def verify_match_keys(
     the runtime :class:`CollisionRegistry` — the static proof and the
     dynamic defence-in-depth bookkeeping must agree.
     """
-    prios = set(priorities)
+    prios = sorted(set(priorities), reverse=True)
     for sw in net.switches():
         by_key: dict[tuple, list[FlowEntry]] = {}
-        for entry in sw.table.entries:
-            if entry.priority not in prios:
-                continue
-            by_key.setdefault(match_key(entry.match), []).append(entry)
+        # The per-priority entry view selects exactly the MIC-managed bands
+        # without scanning the (potentially huge) rest of the table.
+        for prio in prios:
+            for entry in sw.table.entries_at(prio):
+                by_key.setdefault(match_key(entry.match), []).append(entry)
         for key, owners in by_key.items():
             cookies = {e.cookie for e in owners}
             if len(cookies) > 1:
@@ -242,7 +244,7 @@ def verify_forwarding(net: Network, report: VerificationReport) -> None:
     neighbors = port_neighbor_map(net)
     tables = {sw.name: sw.table for sw in net.switches()}
     for sw in net.switches():
-        for origin in sw.table.entries:
+        for origin in sw.table.iter_entries():
             _trace_origin(net, sw.name, origin, tables, neighbors, report)
 
 
@@ -283,7 +285,7 @@ def _trace_origin(
         table = tables.get(node)
         if table is None:  # host: traffic leaves the fabric here
             return
-        for entry in candidate_entries(table.entries, hdr):
+        for entry in candidate_entries(table.iter_entries(), hdr):
             refined = refine(entry.match, hdr)
             result = apply_actions(entry.actions, refined, table.groups)
             for port, out_hdr in result.emissions:

@@ -7,6 +7,7 @@ from .experiments import (
     fig9a_throughput_vs_path_length,
     fig9b_throughput_vs_flows,
     fig9c_cpu_usage,
+    mic_fat_tree_scenario,
     scalability_routing_calculation,
     scalability_vs_fabric,
 )
@@ -23,6 +24,7 @@ __all__ = [
     "fig9b_throughput_vs_flows",
     "fig9c_cpu_usage",
     "fmt_si",
+    "mic_fat_tree_scenario",
     "open_mic",
     "open_ssl",
     "open_tcp",

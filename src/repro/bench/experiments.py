@@ -24,6 +24,7 @@ __all__ = [
     "fig9c_cpu_usage",
     "scalability_routing_calculation",
     "scalability_vs_fabric",
+    "mic_fat_tree_scenario",
 ]
 
 CLIENT, SERVER = "h1", "h16"  # cross-pod pair, 6 physical hops
@@ -303,7 +304,9 @@ def scalability_routing_calculation(
     return result
 
 
-def scalability_vs_fabric(seed: int = 0) -> FigureResult:
+def scalability_vs_fabric(
+    seed: int = 0, ks: Sequence[int] = (4, 6, 8)
+) -> FigureResult:
     """Sec VI-C extension: per-channel planning cost vs fabric size.
 
     The hash work is O(1) in the fabric; only the equal-cost path lookup
@@ -317,7 +320,7 @@ def scalability_vs_fabric(seed: int = 0) -> FigureResult:
         "Sec VI-C/fabric", "MC planning time per channel vs fabric size",
         x_label="fabric", y_label="plan time", unit="s",
     )
-    for k in (4, 6, 8):
+    for k in ks:
         topo = fat_tree(k)
         # Bigger fabrics need more S_ID values: shrink the g-hash shift so
         # the ID space covers every switch (the knob the paper leaves to
@@ -343,4 +346,66 @@ def scalability_vs_fabric(seed: int = 0) -> FigureResult:
             mic.flow_ids.release(plan.flow_id)
         result.add("plan time", f"k={k} ({len(hosts)} hosts)",
                    (time.perf_counter() - t0) / reps)  # lint: allow(wall-clock)
+    return result
+
+
+def mic_fat_tree_scenario(
+    seed: int = 0,
+    k: int = 8,
+    n_pairs: int = 4,
+    n_mns: int = 4,
+    payload: int = 256,
+) -> FigureResult:
+    """End-to-end MIC scenario on a ``k``-ary fat tree (k=8: 80 switches,
+    128 hosts).
+
+    Establishes ``n_pairs`` cross-fabric MIC channels, echoes ``payload``
+    bytes over each, and reports channel success, simulated time, wall time
+    and the MIC rule footprint.  The L3 app is reactive (PacketIn-driven),
+    so nothing is pre-wired — the fabric's tables grow only along the
+    anonymized paths actually taken, which is what makes large fabrics
+    cheap to stand up but makes per-packet classification the hot path
+    this scenario exercises.
+    """
+    import time
+
+    from ..net import fat_tree
+
+    topo = fat_tree(k)
+    # Bigger fabrics need more S_ID values: see scalability_vs_fabric.
+    mn_shift = 2 if len(topo.switches()) <= 60 else 1
+    bed = Testbed.create(seed=seed, topo=topo, pre_wire=False,
+                         relay_hosts=(), mic_kwargs={"mn_shift": mn_shift})
+    hosts = topo.hosts()
+    pairs = [(hosts[i], hosts[-1 - i]) for i in range(n_pairs)]
+
+    t0 = time.perf_counter()  # lint: allow(wall-clock)
+    ok = 0
+    for i, (src, dst) in enumerate(pairs):
+        session = run_process(
+            bed.net, open_mic(bed, src, dst, 30000 + i, n_mns=n_mns)
+        )
+        echo = run_process(
+            bed.net,
+            measure_echo(bed.net.sim, session.client, session.server,
+                         nbytes=payload),
+        )
+        if echo is not None and echo.payload_bytes == payload:
+            ok += 1
+    wall_s = time.perf_counter() - t0  # lint: allow(wall-clock)
+
+    footprint = bed.mic.rule_footprint()
+    result = FigureResult(
+        "Sec VI-C/e2e", f"MIC end-to-end scenario on fat_tree({k})",
+        x_label="metric", y_label="value",
+    )
+    result.add("scenario", "hosts", len(hosts))
+    result.add("scenario", "switches", len(topo.switches()))
+    result.add("scenario", "channels", len(pairs))
+    result.add("scenario", "reply_ok", ok / len(pairs))
+    result.add("scenario", "sim_time_s", bed.net.sim.now)
+    result.add("scenario", "wall_s", wall_s)
+    result.add("scenario", "mic_rules_total", sum(footprint.values()))
+    result.add("scenario", "mic_rules_max_per_switch",
+               max(footprint.values(), default=0))
     return result

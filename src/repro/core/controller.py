@@ -320,20 +320,28 @@ class MimicController(ControllerApp):
                 self._release_flow(channel_id, plan)
             raise
 
-        # Compile and install every rule; installs run in parallel.
+        # Compile every rule, then install per-switch batches in parallel:
+        # one flow-mod per (plan, switch) feeds that switch's classification
+        # index incrementally and invalidates its lookup cache once.
         events = []
         touched: set[str] = set()
+        n_installs = 0
         for plan in plans:
             owner = f"ch{channel_id}/c{plan.cookie}"
             rules, groups, drops = self._compile_flow(plan, owner, decoys)
             for sw_name, group in groups:
                 events.append(self.controller.install_group(sw_name, group))
                 touched.add(sw_name)
+                n_installs += 1
+            by_switch: dict[str, list[FlowEntry]] = {}
             for sw_name, entry in rules + drops:
-                events.append(self.controller.install(sw_name, entry))
+                by_switch.setdefault(sw_name, []).append(entry)
+            for sw_name, batch in by_switch.items():
+                events.append(self.controller.install_batch(sw_name, batch))
                 touched.add(sw_name)
+                n_installs += len(batch)
         install_span = begin_span(
-            self.obs, "mic.install_batch", channel=channel_id, installs=len(events)
+            self.obs, "mic.install_batch", channel=channel_id, installs=n_installs
         )
         try:
             yield self.sim.all_of(events)
@@ -918,9 +926,8 @@ class MimicController(ControllerApp):
         """MIC rules currently installed, per switch (TCAM load view)."""
         counts: dict[str, int] = {}
         for sw in self.net.switches():
-            n = sum(
-                1 for e in sw.table.entries
-                if e.priority in (MIC_PRIORITY, DECOY_DROP_PRIORITY)
+            n = len(sw.table.entries_at(MIC_PRIORITY)) + len(
+                sw.table.entries_at(DECOY_DROP_PRIORITY)
             )
             if n:
                 counts[sw.name] = n

@@ -25,7 +25,7 @@ from .host import Host
 from .link import Channel, Link, LinkStats
 from .network import Network
 from .node import CpuMeter, Node
-from .packet import Packet
+from .packet import Packet, reset_identity_counters
 from .params import DEFAULT_PARAMS, NetParams
 from .switch import Switch
 from .topology import Topology, bcube, fat_tree, leaf_spine, linear
@@ -68,4 +68,5 @@ __all__ = [
     "linear",
     "mac",
     "max_min_fair",
+    "reset_identity_counters",
 ]

@@ -15,8 +15,9 @@ exactly the primitives the paper's design needs:
 from __future__ import annotations
 
 import itertools
+from bisect import insort
 from dataclasses import dataclass, field as dc_field
-from typing import Any, Optional, Sequence
+from typing import Any, Iterator, Optional, Sequence
 
 from .addresses import IPv4Addr, MacAddr
 from .packet import Packet
@@ -227,6 +228,10 @@ class FlowEntry:
     byte_count: int = 0
     #: sim time of the most recent hit; -1.0 until the first packet matches
     last_hit_s: float = -1.0
+    #: installation sequence number assigned by the owning FlowTable; decides
+    #: first-installed-wins among equal-priority matches (an entry object
+    #: belongs to at most one table at a time)
+    seq: int = dc_field(default=0, repr=False, compare=False)
 
     def describe(self) -> str:
         """One-line rule rendering for traces and debugging."""
@@ -287,8 +292,99 @@ class TableFullError(RuntimeError):
     """The table's capacity (TCAM budget) is exhausted."""
 
 
+def _index_pattern(match: Match) -> tuple[str, ...]:
+    """The tuple-space pattern of a match: its constrained field names."""
+    return tuple(f for f in _MATCHABLE if getattr(match, f) is not None)
+
+
+def _index_key(match: Match, pattern: tuple[str, ...]) -> tuple:
+    """The concrete values of a match under ``pattern``.
+
+    ``NO_MPLS`` maps to ``None`` so the key compares directly against the
+    packet's ``mpls`` field ("no shim" is literally ``None`` on a packet).
+    """
+    key = []
+    for f in pattern:
+        v = getattr(match, f)
+        if f == "mpls" and v == Match.NO_MPLS:
+            v = None
+        key.append(v)
+    return tuple(key)
+
+
+class _PriorityTier:
+    """All entries at one priority, indexed by wildcard pattern.
+
+    Tuple-space search (the classifier OVS builds its megaflow cache over):
+    every entry belongs to exactly one *pattern* — the set of fields its
+    match constrains — and within a pattern an exact-match hash maps the
+    concrete field values to the entries installed for them.  A lookup
+    probes one hash per distinct pattern instead of scanning every entry,
+    so cost scales with the number of rule *shapes*, not the rule count.
+    A pattern constraining no fields at all is the wildcard tier: its
+    single bucket (empty key) matches every packet.
+    """
+
+    __slots__ = ("priority", "buckets", "order")
+
+    def __init__(self, priority: int) -> None:
+        self.priority = priority
+        #: pattern -> {concrete-value key -> entries, insertion order}
+        self.buckets: dict[tuple[str, ...], dict[tuple, list[FlowEntry]]] = {}
+        #: insertion order across the whole tier (the entry-view order)
+        self.order: list[FlowEntry] = []
+
+    def add(self, entry: FlowEntry) -> None:
+        pattern = _index_pattern(entry.match)
+        key = _index_key(entry.match, pattern)
+        self.buckets.setdefault(pattern, {}).setdefault(key, []).append(entry)
+        self.order.append(entry)
+
+    def rebuild(self, survivors: list[FlowEntry]) -> None:
+        self.buckets = {}
+        self.order = []
+        for entry in survivors:
+            self.add(entry)
+
+    def best_match(self, packet: Packet, in_port: int) -> Optional[FlowEntry]:
+        """Lowest-seq (first-installed) entry covering the packet, or None."""
+        best: Optional[FlowEntry] = None
+        for pattern, keyed in self.buckets.items():
+            probe = tuple(
+                in_port if f == "in_port" else getattr(packet, f)
+                for f in pattern
+            )
+            bucket = keyed.get(probe)
+            if bucket:
+                head = bucket[0]
+                if best is None or head.seq < best.seq:
+                    best = head
+        return best
+
+
+#: cache-miss sentinel (a cached value may legitimately be ``None``)
+_CACHE_MISS = object()
+
+#: default per-switch lookup-cache capacity (header tuples)
+DEFAULT_LOOKUP_CACHE = 1024
+
+
 class FlowTable:
     """Priority-ordered flow table plus group table.
+
+    Classification is a two-tier pipeline:
+
+    1. a bounded **lookup cache** keyed on the packet's full header tuple
+       (``in_port`` + the eight matchable header fields), invalidated as a
+       whole whenever the table changes (install/remove/group mutation).
+       Header rewrites never stale the cache: a ``SetField``-rewritten
+       packet presents a *different* header tuple and takes its own slot;
+    2. per-priority **tuple-space indexes** (:class:`_PriorityTier`) probed
+       from the highest installed priority down.
+
+    Both tiers agree entry-for-entry with :meth:`lookup_linear`, the
+    reference priority-ordered linear scan kept for verification and as
+    the microbenchmark baseline.
 
     :meth:`apply` classifies a packet and executes the matched entry's
     actions, returning the set of (port, packet) emissions and whether the
@@ -297,66 +393,151 @@ class FlowTable:
     mutation cannot alias.
 
     ``max_entries`` models the switch's TCAM budget: installs beyond it
-    raise :class:`TableFullError` (None = unbounded).
+    raise :class:`TableFullError` (None = unbounded).  ``cache_size``
+    bounds the lookup cache (0 disables caching entirely).
     """
 
-    def __init__(self, max_entries: Optional[int] = None) -> None:
-        self._entries: list[FlowEntry] = []
+    def __init__(
+        self,
+        max_entries: Optional[int] = None,
+        cache_size: int = DEFAULT_LOOKUP_CACHE,
+    ) -> None:
+        self._tiers: dict[int, _PriorityTier] = {}
+        self._neg_prios: list[int] = []  # negated priorities, ascending
         self._groups: dict[int, GroupEntry] = {}
+        self._count = 0
+        self._next_seq = 1
+        self._flat: Optional[list[FlowEntry]] = None
+        self._version = 0
+        self._lookup_cache: dict[tuple, Optional[FlowEntry]] = {}
+        self._lookup_cache_version = 0
+        self.cache_size = cache_size
         self.max_entries = max_entries
+        #: classification statistics (diagnostics; not part of forwarding)
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def _bump(self) -> None:
+        """Record a table mutation: stale the flat view and the cache."""
+        self._version += 1
+        self._flat = None
 
     # -- management ------------------------------------------------------
     def install(self, entry: FlowEntry) -> None:
-        """Insert keeping (priority desc, insertion order) ordering."""
-        if self.max_entries is not None and len(self._entries) >= self.max_entries:
+        """Install ``entry``, feeding the index incrementally.
+
+        Keeps the classifier's (priority desc, insertion order) semantics:
+        among equal-priority matches the first-installed entry wins.
+        """
+        if self.max_entries is not None and self._count >= self.max_entries:
             raise TableFullError(
                 f"flow table full ({self.max_entries} entries)"
             )
-        idx = len(self._entries)
-        for i, existing in enumerate(self._entries):
-            if existing.priority < entry.priority:
-                idx = i
-                break
-        self._entries.insert(idx, entry)
+        tier = self._tiers.get(entry.priority)
+        if tier is None:
+            tier = _PriorityTier(entry.priority)
+            self._tiers[entry.priority] = tier
+            insort(self._neg_prios, -entry.priority)
+        entry.seq = self._next_seq
+        self._next_seq += 1
+        tier.add(entry)
+        self._count += 1
+        self._bump()
+
+    def install_many(self, entries: Sequence[FlowEntry]) -> None:
+        """Install a batch of entries (one incremental index feed each).
+
+        The capacity check runs per entry, so a batch overflowing the TCAM
+        budget raises after installing exactly the entries that fit — the
+        same observable state as issuing the installs one by one.
+        """
+        for entry in entries:
+            self.install(entry)
+
+    def _remove_where(self, pred) -> int:
+        """Remove every entry satisfying ``pred``; returns the count."""
+        removed = 0
+        for priority in list(self._tiers):
+            tier = self._tiers[priority]
+            survivors = [e for e in tier.order if not pred(e)]
+            dropped = len(tier.order) - len(survivors)
+            if not dropped:
+                continue
+            removed += dropped
+            if survivors:
+                tier.rebuild(survivors)
+            else:
+                del self._tiers[priority]
+                self._neg_prios.remove(-priority)
+        if removed:
+            self._count -= removed
+            self._bump()
+        return removed
 
     def remove(self, match: Match, priority: Optional[int] = None) -> int:
         """Remove entries with an identical match (and priority if given)."""
-        before = len(self._entries)
-        self._entries = [
-            e
-            for e in self._entries
-            if not (
-                e.match.key() == match.key()
-                and (priority is None or e.priority == priority)
-            )
-        ]
-        return before - len(self._entries)
+        key = match.key()
+        return self._remove_where(
+            lambda e: e.match.key() == key
+            and (priority is None or e.priority == priority)
+        )
 
     def remove_by_cookie(self, cookie: int) -> int:
         """Remove every entry tagged with ``cookie``; returns the count."""
-        before = len(self._entries)
-        self._entries = [e for e in self._entries if e.cookie != cookie]
-        return before - len(self._entries)
+        return self._remove_where(lambda e: e.cookie == cookie)
 
     def install_group(self, group: GroupEntry) -> None:
         """Install (or replace) a group entry."""
         self._groups[group.group_id] = group
+        self._bump()
 
     def remove_group(self, group_id: int) -> None:
         """Remove a group entry if present."""
-        self._groups.pop(group_id, None)
+        if self._groups.pop(group_id, None) is not None:
+            self._bump()
 
     def remove_groups_by_cookie(self, cookie: int) -> int:
         """Remove every group tagged with ``cookie``; returns the count."""
         stale = [gid for gid, g in self._groups.items() if g.cookie == cookie]
         for gid in stale:
             del self._groups[gid]
+        if stale:
+            self._bump()
         return len(stale)
+
+    # -- the entry-view API ----------------------------------------------
+    # Everything outside this module (analysis, obs, controllers, tests)
+    # reads the table through these accessors, never through the tiered
+    # storage itself, so the storage layout can keep evolving single-file.
+    def iter_entries(self) -> Iterator[FlowEntry]:
+        """Iterate installed entries in (priority desc, insertion) order.
+
+        No copy: the underlying flat view is memoized until the next table
+        mutation.  Callers that mutate the table mid-iteration should use
+        :attr:`entries` instead.
+        """
+        flat = self._flat
+        if flat is None:
+            flat = self._flat = [
+                e
+                for neg in self._neg_prios
+                for e in self._tiers[-neg].order
+            ]
+        return iter(flat)
 
     @property
     def entries(self) -> list[FlowEntry]:
         """Snapshot of installed entries, priority order."""
-        return list(self._entries)
+        return list(self.iter_entries())
+
+    def entries_at(self, priority: int) -> list[FlowEntry]:
+        """Snapshot of the entries installed at one priority level."""
+        tier = self._tiers.get(priority)
+        return list(tier.order) if tier is not None else []
+
+    def priorities(self) -> list[int]:
+        """Installed priority levels, highest first."""
+        return [-neg for neg in self._neg_prios]
 
     def conflicting_entries(
         self, match: Match, priority: Optional[int] = None
@@ -368,12 +549,11 @@ class FlowTable:
         packets in the intersection.  Used by the static verifier and by
         tests probing rule interactions.
         """
-        return [
-            e
-            for e in self._entries
-            if (priority is None or e.priority == priority)
-            and e.match.intersects(match)
-        ]
+        pool = (
+            self.iter_entries() if priority is None
+            else self.entries_at(priority)
+        )
+        return [e for e in pool if e.match.intersects(match)]
 
     @property
     def groups(self) -> dict[int, GroupEntry]:
@@ -381,12 +561,60 @@ class FlowTable:
         return dict(self._groups)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return self._count
 
     # -- the data path -----------------------------------------------------
     def lookup(self, packet: Packet, in_port: int) -> Optional[FlowEntry]:
-        """The highest-priority entry covering the packet, or None."""
-        for entry in self._entries:
+        """The highest-priority entry covering the packet, or None.
+
+        Classifies through the lookup cache and the tuple-space indexes;
+        agrees with :meth:`lookup_linear` on every packet by construction
+        (and by the hypothesis equivalence suite).
+        """
+        if self.cache_size <= 0:
+            return self._lookup_indexed(packet, in_port)
+        cache = self._lookup_cache
+        if self._lookup_cache_version != self._version:
+            cache.clear()
+            self._lookup_cache_version = self._version
+        key = (
+            in_port,
+            packet.eth_src,
+            packet.eth_dst,
+            packet.ip_src,
+            packet.ip_dst,
+            packet.proto,
+            packet.sport,
+            packet.dport,
+            packet.mpls,
+        )
+        hit = cache.get(key, _CACHE_MISS)
+        if hit is not _CACHE_MISS:
+            self.cache_hits += 1
+            return hit
+        self.cache_misses += 1
+        entry = self._lookup_indexed(packet, in_port)
+        if len(cache) >= self.cache_size:
+            cache.pop(next(iter(cache)))  # FIFO eviction of the oldest key
+        cache[key] = entry
+        return entry
+
+    def _lookup_indexed(self, packet: Packet, in_port: int) -> Optional[FlowEntry]:
+        """Probe the per-priority tuple-space indexes, highest tier first."""
+        for neg in self._neg_prios:
+            best = self._tiers[-neg].best_match(packet, in_port)
+            if best is not None:
+                return best
+        return None
+
+    def lookup_linear(self, packet: Packet, in_port: int) -> Optional[FlowEntry]:
+        """Reference classifier: priority-ordered linear scan.
+
+        Semantically authoritative and deliberately kept: the indexed path
+        must agree with it entry-for-entry (see the equivalence property
+        suite), and the lookup microbenchmark uses it as the baseline.
+        """
+        for entry in self.iter_entries():
             if entry.match.matches(packet, in_port):
                 return entry
         return None
@@ -400,13 +628,23 @@ class FlowTable:
         a list of ``(out_port, packet)`` pairs and ``entry`` is the matched
         rule (``None`` on table miss — the caller decides miss behaviour,
         usually punting to the controller like OVS's default).
+
+        Counter semantics: ``packet_count`` counts matched packets;
+        ``byte_count`` counts the bytes the rule put on the wire — one
+        post-rewrite size per emitted copy, so a partial-multicast group
+        with *k* buckets charges all *k* copies.  A rule that emits nothing
+        (drop, punt-only) charges the matched packet's ingress size.
         """
         entry = self.lookup(packet, in_port)
         if entry is None:
             return [], True, None
         entry.packet_count += 1
-        entry.byte_count += packet.size
+        ingress_size = packet.size
         emissions, to_controller = self._run_actions(entry.actions, packet)
+        if emissions:
+            entry.byte_count += sum(p.size for _, p in emissions)
+        else:
+            entry.byte_count += ingress_size
         return emissions, to_controller, entry
 
     def _run_actions(

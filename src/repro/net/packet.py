@@ -23,7 +23,15 @@ from typing import Any, Optional
 
 from .addresses import IPv4Addr, MacAddr
 
-__all__ = ["Packet", "ETH_HEADER", "IP_HEADER", "TCP_HEADER", "UDP_HEADER", "MPLS_SHIM"]
+__all__ = [
+    "Packet",
+    "ETH_HEADER",
+    "IP_HEADER",
+    "TCP_HEADER",
+    "UDP_HEADER",
+    "MPLS_SHIM",
+    "reset_identity_counters",
+]
 
 ETH_HEADER = 14
 IP_HEADER = 20
@@ -43,6 +51,21 @@ def fresh_uid() -> int:
 def fresh_content_tag() -> int:
     """Allocate a globally unique wire-content tag."""
     return next(_tag_counter)
+
+
+def reset_identity_counters() -> None:
+    """Restart the ``uid`` and ``content_tag`` sequences at 1.
+
+    The counters are module globals, so without a reset the identities a
+    test observes depend on every packet any *earlier* test created.  The
+    test suite resets them before each test (autouse fixture in
+    ``tests/conftest.py``) so uid/content_tag sequences are deterministic
+    regardless of test execution order.  Never call this mid-simulation:
+    two live packets must not share a uid.
+    """
+    global _uid_counter, _tag_counter
+    _uid_counter = itertools.count(1)
+    _tag_counter = itertools.count(1)
 
 
 @dataclass(slots=True)

@@ -157,3 +157,40 @@ class Switch(Node):
 
         self.sim.call_later(d, _do)
         return ev
+
+    def install_many_later(self, entries, delay: Optional[float] = None):
+        """Install a batch of flow entries after one control-channel latency.
+
+        Models a batched flow-mod: the rules become active together, each
+        feeding the table's classification index incrementally, and the
+        lookup cache is invalidated once per batch rather than per rule.
+        Emits one ``switch.flowmod`` trace record per entry.  On a capacity
+        overflow the event fails after installing the entries that fit —
+        the same observable state as issuing the installs one by one.
+
+        Returns an event that fires when the whole batch is active.
+        """
+        from .flowtable import TableFullError
+
+        d = self.params.flow_install_delay_s if delay is None else delay
+        ev = self.sim.event()
+
+        def _do():
+            for entry in entries:
+                try:
+                    self.table.install(entry)
+                except TableFullError as exc:
+                    self.trace.emit(
+                        self.sim.now, "switch.table_full", self.name,
+                        entry=entry.describe(),
+                    )
+                    ev.fail(exc)
+                    return
+                self.trace.emit(
+                    self.sim.now, "switch.flowmod", self.name,
+                    entry=entry.describe(),
+                )
+            ev.succeed()
+
+        self.sim.call_later(d, _do)
+        return ev

@@ -177,11 +177,10 @@ class Observer:
 
     def _snapshot_switches(self, snap: MetricsSnapshot) -> None:
         for sw in self.net.switches():
-            entries = sw.table.entries
-            snap.add("switch.table.entries", len(entries), switch=sw.name)
+            snap.add("switch.table.entries", len(sw.table), switch=sw.name)
             snap.add("switch.forwarded.packets", sw.packets_forwarded, switch=sw.name)
             snap.add("switch.punted.packets", sw.packets_punted, switch=sw.name)
-            for e in entries:
+            for e in sw.table.iter_entries():
                 labels = dict(
                     switch=sw.name, entry_id=e.entry_id,
                     cookie=e.cookie, priority=e.priority,

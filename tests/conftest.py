@@ -1,0 +1,19 @@
+"""Suite-wide fixtures.
+
+Packet ``uid``/``content_tag`` sequences come from module-global counters
+(:mod:`repro.net.packet`); without a per-test reset the identities any test
+observes would depend on how many packets every earlier test created —
+i.e. on test execution order and selection.  The autouse fixture pins both
+sequences to start at 1 for every test.
+"""
+
+import pytest
+
+from repro.net.packet import reset_identity_counters
+
+
+@pytest.fixture(autouse=True)
+def _deterministic_packet_identities():
+    """Make uid/content_tag sequences deterministic per test."""
+    reset_identity_counters()
+    yield

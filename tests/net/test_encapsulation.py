@@ -1,0 +1,32 @@
+"""Flow-table storage is private to ``flowtable.py`` — enforced by scan.
+
+Every consumer (analysis, obs, controllers, benches) must read tables
+through the entry-view API (``iter_entries``/``entries``/``entries_at``/
+``priorities``/``conflicting_entries``/``groups``); nothing outside
+``flowtable.py`` may touch the tiered storage attributes.  This keeps
+future storage changes single-file.
+"""
+
+import pathlib
+import re
+
+SRC = pathlib.Path(__file__).resolve().parents[2] / "src" / "repro"
+
+#: attribute accesses that would couple external code to the storage layout
+PRIVATE_ACCESS = re.compile(
+    r"\.(_entries|_groups|_tiers|_neg_prios|_lookup_cache|_flat\b|_remove_where)"
+)
+
+
+def test_no_flowtable_storage_access_outside_flowtable():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        if path.name == "flowtable.py":
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            if PRIVATE_ACCESS.search(line):
+                offenders.append(f"{path.relative_to(SRC)}:{lineno}: {line.strip()}")
+    assert not offenders, (
+        "flow-table storage internals accessed outside flowtable.py "
+        "(use the entry-view API instead):\n" + "\n".join(offenders)
+    )

@@ -207,6 +207,47 @@ class TestTable:
         tags = {p.content_tag for _, p in emissions}
         assert len(uids) == 3 and len(tags) == 1
 
+    def test_group_byte_count_charges_every_emitted_copy(self):
+        """Multicast accounting: byte_count sums post-rewrite emission sizes.
+
+        Regression for the old behaviour of charging the pre-rewrite ingress
+        size once no matter how many bucket copies left the switch."""
+        table = FlowTable()
+        table.install_group(
+            GroupEntry(
+                group_id=1,
+                buckets=[
+                    [SetField("ip_dst", ip(11)), Output(1)],
+                    [SetField("ip_dst", ip(12)), Output(2)],
+                    # This copy grows by the MPLS shim — sizes differ per copy.
+                    [PushMpls(7), Output(3)],
+                ],
+            )
+        )
+        e = FlowEntry(Match(), [Group(1)])
+        table.install(e)
+        p = pkt()
+        emissions, _, _ = table.apply(p, 1)
+        assert e.packet_count == 1
+        assert e.byte_count == sum(out.size for _, out in emissions)
+        assert e.byte_count == 3 * p.size + 4  # two plain copies + one shimmed
+
+    def test_multi_output_byte_count_charges_each_emission(self):
+        table = FlowTable()
+        e = FlowEntry(Match(), [Output(1), Output(2)])
+        table.install(e)
+        p = pkt()
+        table.apply(p, 1)
+        assert e.byte_count == 2 * p.size
+
+    def test_drop_entry_counts_ingress_bytes(self):
+        table = FlowTable()
+        e = FlowEntry(Match(), [Drop()])
+        table.install(e)
+        p = pkt()
+        table.apply(p, 1)
+        assert e.packet_count == 1 and e.byte_count == p.size
+
     def test_missing_group_raises(self):
         table = FlowTable()
         table.install(FlowEntry(Match(), [Group(404)]))
