@@ -4,7 +4,7 @@ PYTHON ?= python
 # Same invocation the CI tier-1 gate uses (src/ layout, no install needed).
 PYPATH = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-verbose lint verify obs-demo journey-demo bench bench-quick figures quick-figures examples clean
+.PHONY: install test test-verbose lint verify obs-demo journey-demo chaos-demo bench bench-quick figures quick-figures examples clean
 
 install:
 	pip install -e . --no-build-isolation || pip install -e .
@@ -43,6 +43,15 @@ journey-demo:
 		--dump benchmarks/results/journey_dump.json
 	$(PYPATH) $(PYTHON) -m repro.obs summarize \
 		benchmarks/results/journey_dump.json
+
+# Chaos demo: seeded fault injection on a fat-tree (link flaps, a switch
+# crash, control partition, lossy flow-mods) with the resilience scorecard
+# printed and archived.  Exits non-zero if any flow is still parked.
+chaos-demo:
+	@mkdir -p benchmarks/results
+	$(PYPATH) $(PYTHON) -m repro.faults run --seed 0 --timeline
+	$(PYPATH) $(PYTHON) -m repro.faults scorecard --seed 0 \
+		-o benchmarks/results/chaos_scorecard.json
 
 bench:
 	$(PYPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -22,6 +22,8 @@ import itertools
 from dataclasses import dataclass
 from typing import Optional, Sequence, Union
 
+import networkx as nx
+
 from ..crypto import DEFAULT_COSTS, CryptoCostModel, Key, seal, unseal
 from ..net.addresses import IPv4Addr, MacAddr, ip
 from ..net.flowtable import (
@@ -123,6 +125,7 @@ class MimicController(ControllerApp):
         shared_flow_hash: bool = False,
         costs: CryptoCostModel = DEFAULT_COSTS,
         verify: bool = False,
+        park_retry_s: float = 0.25,
     ):
         if mn_strategy not in ("random", "spread"):
             raise ValueError(f"unknown MN strategy {mn_strategy!r}")
@@ -139,11 +142,25 @@ class MimicController(ControllerApp):
         #: (static proof of Sec IV-B3's collision freedom; see
         #: docs/verification.md)
         self.verify_installs = verify
+        self.park_retry_s = park_retry_s
         self.channels: dict[int, MimicChannel] = {}
         self.requests_served = 0
         self.cpu_busy_s = 0.0  # MC-side compute accounting
         #: optional attached repro.obs.Observer (control-plane spans)
         self.obs = None
+        #: cookie -> (rules, groups, drops) as installed — the channel
+        #: intent a rebooted switch is re-synced from
+        self.compiled: dict[int, tuple[list, list, list]] = {}
+        #: cookies with a repair process in flight (dedup: a second failure
+        #: on the same flow must not spawn a second repairer)
+        self._repairing: set[int] = set()
+        #: cookie -> (channel, flow index) for flows parked with no
+        #: surviving path; retried on heal events and by backoff loops
+        self._parked: dict[int, tuple[MimicChannel, int]] = {}
+        self._park_loops: set[int] = set()
+        self.repairs_completed = 0
+        self.repairs_parked = 0
+        self.resyncs_completed = 0
 
     # ------------------------------------------------------------------
     def attach(self, controller: Controller) -> None:
@@ -244,7 +261,10 @@ class MimicController(ControllerApp):
                     proto=request.proto,
                 )
                 reply = McReply(ok=True, grant=grant)
-            except EstablishError as exc:
+            except (EstablishError, ValueError, KeyError, IndexError,
+                    nx.NetworkXNoPath) as exc:
+                # Establishment on a degraded fabric must answer, not crash:
+                # no-path and exhausted-draw conditions become clean refusals.
                 reply = McReply(ok=False, error=str(exc))
         elif request.kind == "shutdown":
             self.teardown(request.channel_id)
@@ -326,9 +346,11 @@ class MimicController(ControllerApp):
         events = []
         touched: set[str] = set()
         n_installs = 0
+        compiled_by_cookie: dict[int, tuple[list, list, list]] = {}
         for plan in plans:
             owner = f"ch{channel_id}/c{plan.cookie}"
             rules, groups, drops = self._compile_flow(plan, owner, decoys)
+            compiled_by_cookie[plan.cookie] = (rules, groups, drops)
             for sw_name, group in groups:
                 events.append(self.controller.install_group(sw_name, group))
                 touched.add(sw_name)
@@ -367,6 +389,7 @@ class MimicController(ControllerApp):
         )
         channel._touched_switches = sorted(touched)  # type: ignore[attr-defined]
         self.channels[channel_id] = channel
+        self.compiled.update(compiled_by_cookie)
         if self.verify_installs:
             self.verify().raise_if_failed()
         self.net.trace.emit(
@@ -807,6 +830,8 @@ class MimicController(ControllerApp):
                 self.controller.remove_by_cookie(sw_name, plan.cookie)
         for plan in channel.flows:
             self._release_flow(channel_id, plan)
+            self.compiled.pop(plan.cookie, None)
+            self._parked.pop(plan.cookie, None)
             used = self._used_sports.get(channel.initiator)
             if used is not None:
                 used.discard(plan.entry.sport)
@@ -826,16 +851,29 @@ class MimicController(ControllerApp):
         The controller's routing view has already been updated; we re-plan
         the affected flows over the surviving fabric while pinning their
         entry and delivery addresses, so both endpoints' transport
-        connections survive the rerouting untouched.
+        connections survive the rerouting untouched.  A heal event instead
+        re-tries every parked flow — a flow parks when no surviving path
+        exists at repair time.
         """
         if up:
+            for cookie in list(self._parked):
+                self._try_unpark(cookie)
             return
         for channel in list(self.channels.values()):
             for idx, plan in enumerate(channel.flows):
                 if self._walk_uses(plan.walk, a, b):
-                    self.sim.process(
-                        self._repair_flow(channel, idx), name="mic.repair"
-                    )
+                    self._schedule_repair(channel, idx)
+
+    def on_switch_event(self, name: str, up: bool) -> None:
+        """Re-sync a rebooted switch's rules from stored channel intent.
+
+        A crash wipes the chassis but leaves its links up, so routing
+        around it would be wrong — the installed walks are still the right
+        ones, the switch just forgot its rules.  Nothing to do on the down
+        edge; the reboot drives the re-install.
+        """
+        if up:
+            self.sim.process(self._resync_switch(name), name="mic.resync")
 
     @staticmethod
     def _walk_uses(walk: Sequence[str], a: str, b: str) -> bool:
@@ -843,51 +881,230 @@ class MimicController(ControllerApp):
             (u, v) in ((a, b), (b, a)) for u, v in zip(walk, walk[1:])
         )
 
+    def _schedule_repair(self, channel: MimicChannel, idx: int) -> None:
+        cookie = channel.flows[idx].cookie
+        if cookie in self._repairing or cookie in self._parked:
+            return  # a repairer is already driving (or waiting on) this flow
+        self._repairing.add(cookie)
+        self.sim.process(self._repair_flow(channel, idx), name="mic.repair")
+
+    def _walk_alive(self, walk: Sequence[str]) -> bool:
+        """Every edge of the walk still exists in the routing view."""
+        graph = self.controller.view.graph
+        return all(graph.has_edge(u, v) for u, v in zip(walk, walk[1:]))
+
     def _repair_flow(self, channel: MimicChannel, idx: int):
         old = channel.flows[idx]
         owner = f"ch{channel.channel_id}/c{old.cookie}"
-        # Remove the dead flow's rules and registry claims.  Walk order, not
-        # set order: removals schedule control-plane work, which must not
-        # depend on the hash seed.
-        for node in dict.fromkeys(old.walk):
-            if self.net.topo.kind(node) == "switch":
-                self.controller.remove_by_cookie(node, old.cookie)
-        self.registry.release_owner(owner)
-        # Re-plan over the surviving fabric, pinning the flow's identity.
-        new_plan = self._plan_flow(
-            channel.initiator,
-            channel.responder,
-            old.delivery.dport,
-            len(old.mn_positions),
-            cookie=old.cookie,
-            owner=owner,
-            flow_id=old.flow_id,
-            entry_pin=old.entry,
-            delivery_pin=old.delivery,
-            proto=old.proto,
+        span = begin_span(
+            self.obs, "mic.repair",
+            channel=channel.channel_id, flow_id=old.flow_id,
         )
-        rules, groups, drops = self._compile_flow(new_plan, owner, channel.decoys)
-        events = []
-        touched = set(getattr(channel, "_touched_switches", []))
-        for sw_name, group in groups:
-            events.append(self.controller.install_group(sw_name, group))
-            touched.add(sw_name)
-        for sw_name, entry in rules + drops:
-            events.append(self.controller.install(sw_name, entry))
-            touched.add(sw_name)
-        yield self.sim.all_of(events)
-        channel.flows[idx] = new_plan
-        channel._touched_switches = sorted(touched)  # type: ignore[attr-defined]
-        if self.verify_installs:
-            self.verify().raise_if_failed()
+        try:
+            # Remove the dead flow's rules and registry claims.  The
+            # removal scope comes from the *compiled* intent, not the walk:
+            # decoy-drop rules live on off-walk branch switches too.  The
+            # barrier below matters — the new plan re-uses this cookie, so
+            # a removal landing late (lossy control plane) would eat the
+            # replacement rules.
+            removal_scope = {
+                node for node in old.walk
+                if self.net.topo.kind(node) == "switch"
+            }
+            old_compiled = self.compiled.pop(old.cookie, None)
+            if old_compiled is not None:
+                for part in old_compiled:
+                    removal_scope.update(sw_name for sw_name, _obj in part)
+            removals = [
+                self.controller.remove_by_cookie(node, old.cookie)
+                for node in sorted(removal_scope)
+            ]
+            self.registry.release_owner(owner)
+            if removals:
+                yield self.sim.all_of(removals)
+            while True:
+                # Re-plan over the surviving fabric, pinning the identity.
+                try:
+                    new_plan = self._plan_flow(
+                        channel.initiator,
+                        channel.responder,
+                        old.delivery.dport,
+                        len(old.mn_positions),
+                        cookie=old.cookie,
+                        owner=owner,
+                        flow_id=old.flow_id,
+                        entry_pin=old.entry,
+                        delivery_pin=old.delivery,
+                        proto=old.proto,
+                    )
+                except (EstablishError, ValueError, KeyError, IndexError,
+                        nx.NetworkXNoPath) as exc:
+                    # No surviving path (or not enough switches on any):
+                    # park the flow instead of killing the sim; the parked
+                    # loop and heal events will bring it back.
+                    self.registry.release_owner(owner)
+                    self._park_flow(channel, idx, old, str(exc))
+                    span.finish(outcome="parked")
+                    return
+                rules, groups, drops = self._compile_flow(
+                    new_plan, owner, channel.decoys
+                )
+                events = []
+                touched = set(getattr(channel, "_touched_switches", []))
+                for sw_name, group in groups:
+                    events.append(self.controller.install_group(sw_name, group))
+                    touched.add(sw_name)
+                for sw_name, entry in rules + drops:
+                    events.append(self.controller.install(sw_name, entry))
+                    touched.add(sw_name)
+                failed = False
+                for ev in events:
+                    # Wait for every install to settle (success *or*
+                    # failure) — undoing while siblings are still being
+                    # re-driven would let a late install leak past the
+                    # removal below.
+                    try:
+                        yield ev
+                    except Exception:
+                        failed = True
+                if failed:
+                    # A switch refused an install (crashed chassis, lost
+                    # mods beyond retry budget): undo and re-plan over the
+                    # by-then-current view after a short backoff.
+                    yield self.sim.all_of([
+                        self.controller.remove_by_cookie(node, old.cookie)
+                        for node in sorted(touched)
+                    ])
+                    self.registry.release_owner(owner)
+                    yield self.sim.timeout(self.park_retry_s)
+                    continue
+                if not self._walk_alive(new_plan.walk):
+                    # A second failure hit the new walk while the installs
+                    # were in flight: this repair is stale.  Undo and loop.
+                    yield self.sim.all_of([
+                        self.controller.remove_by_cookie(node, old.cookie)
+                        for node in sorted(touched)
+                    ])
+                    self.registry.release_owner(owner)
+                    continue
+                channel.flows[idx] = new_plan
+                channel._touched_switches = sorted(touched)  # type: ignore[attr-defined]
+                self.compiled[new_plan.cookie] = (rules, groups, drops)
+                self.repairs_completed += 1
+                if self.verify_installs:
+                    self.verify().raise_if_failed()
+                self.net.trace.emit(
+                    self.sim.now,
+                    "mic.repair",
+                    "MC",
+                    channel_id=channel.channel_id,
+                    flow_id=old.flow_id,
+                    new_walk=list(new_plan.walk),
+                )
+                span.finish(outcome="repaired")
+                return
+        finally:
+            self._repairing.discard(old.cookie)
+
+    # -- parked flows (no surviving path) ----------------------------------
+    def _park_flow(
+        self, channel: MimicChannel, idx: int, old: MFlowPlan, reason: str
+    ) -> None:
+        cookie = old.cookie
+        self._parked[cookie] = (channel, idx)
+        self.repairs_parked += 1
         self.net.trace.emit(
             self.sim.now,
-            "mic.repair",
+            "mic.park",
             "MC",
             channel_id=channel.channel_id,
             flow_id=old.flow_id,
-            new_walk=list(new_plan.walk),
+            reason=reason,
         )
+        if cookie not in self._park_loops:
+            self._park_loops.add(cookie)
+            self.sim.process(self._parked_retry_loop(cookie), name="mic.park")
+
+    def _parked_retry_loop(self, cookie: int):
+        """Backoff retries for one parked flow (heal events also retry)."""
+        try:
+            delay = self.park_retry_s
+            while cookie in self._parked:
+                yield self.sim.timeout(delay)
+                delay = min(delay * 2, 8 * self.park_retry_s)
+                self._try_unpark(cookie)
+        finally:
+            self._park_loops.discard(cookie)
+
+    def _try_unpark(self, cookie: int) -> None:
+        entry = self._parked.get(cookie)
+        if entry is None or cookie in self._repairing:
+            return
+        channel, idx = entry
+        if channel.channel_id not in self.channels:
+            self._parked.pop(cookie, None)  # torn down while parked
+            return
+        # Leave the parking lot only when the view offers a path again; the
+        # repairer re-parks if the path is still too short for the MN count.
+        try:
+            self.controller.view.shortest_path(channel.initiator, channel.responder)
+        except (KeyError, nx.NetworkXNoPath, IndexError):
+            return
+        self._parked.pop(cookie)
+        self._repairing.add(cookie)
+        self.sim.process(self._repair_flow(channel, idx), name="mic.repair")
+
+    @property
+    def parked_flows(self) -> int:
+        """Number of flows currently parked awaiting a surviving path."""
+        return len(self._parked)
+
+    @property
+    def repairs_in_flight(self) -> int:
+        """Number of flows with an active repair process right now."""
+        return len(self._repairing)
+
+    # -- switch resync (reboot recovery) ------------------------------------
+    def _resync_switch(self, name: str):
+        """Re-install every live flow's rules on a rebooted switch.
+
+        Driven from stored compiled intent (:attr:`compiled`), so the
+        addresses and labels are exactly the ones the endpoints are already
+        using — no re-draw, no RNG.  Flows mid-repair or parked are skipped;
+        their repairer owns their rules.
+        """
+        span = begin_span(self.obs, "mic.resync", switch=name)
+        events = []
+        n_rules = 0
+        for channel in list(self.channels.values()):
+            for plan in channel.flows:
+                if plan.cookie in self._repairing or plan.cookie in self._parked:
+                    continue
+                compiled = self.compiled.get(plan.cookie)
+                if compiled is None:
+                    continue
+                rules, groups, drops = compiled
+                for sw_name, group in groups:
+                    if sw_name == name:
+                        events.append(self.controller.install_group(name, group))
+                batch = [e for sw_name, e in rules + drops if sw_name == name]
+                if batch:
+                    events.append(self.controller.install_batch(name, batch))
+                    n_rules += len(batch)
+        if events:
+            try:
+                yield self.sim.all_of(events)
+            except Exception:
+                # Crashed again mid-resync: the next reboot will re-drive.
+                span.finish(ok=False)
+                return
+        self.resyncs_completed += 1
+        if self.verify_installs:
+            self.verify().raise_if_failed()
+        self.net.trace.emit(
+            self.sim.now, "mic.resync", "MC", switch=name, rules=n_rules
+        )
+        span.finish(rules=n_rules)
 
     def _expiry_loop(self):
         while True:

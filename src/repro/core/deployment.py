@@ -80,6 +80,8 @@ def deploy_mic(
     observe: bool = False,
     journey: bool = False,
     journey_kwargs: Optional[dict] = None,
+    controller_kwargs: Optional[dict] = None,
+    faults=None,
 ) -> MicDeployment:
     """Stand up a MIC-enabled network on ``topo`` (default: the paper's
     4-ary fat-tree).
@@ -92,9 +94,13 @@ def deploy_mic(
     :class:`repro.obs.JourneyRecorder` (``journey_kwargs`` forwards
     ``sample_rate``/``predicate``/``flight``), exposed as ``journey`` —
     when an observer is also attached the recorder registers on it too.
+    ``controller_kwargs`` forwards failure-detection and install-retry
+    knobs to the :class:`~repro.sdn.controller.Controller`; ``faults``
+    attaches a :class:`repro.faults.FaultSchedule` (its injected events
+    are scheduled before any traffic runs).
     """
     net = Network(topo or fat_tree(4), params=params or NetParams(), seed=seed)
-    ctrl = Controller(net)
+    ctrl = Controller(net, **(controller_kwargs or {}))
     mic = ctrl.register(MimicController(**(mic_kwargs or {})))
     l3 = ctrl.register(L3ShortestPathApp())
     obs = Observer.attach(net, mic=mic, controller=ctrl) if observe else None
@@ -103,6 +109,8 @@ def deploy_mic(
         rec = JourneyRecorder.attach(net, **(journey_kwargs or {}))
         if obs is not None:
             obs.journey = rec
+    if faults is not None:
+        faults.attach(net, ctrl)
     if pre_wire:
         l3.wire_all_pairs()
         net.run()

@@ -1,0 +1,186 @@
+"""The seeded chaos scenario: faults derived from live channel state.
+
+``run_chaos`` stands up MIC on a fat-tree, establishes datagram channels,
+then builds a :class:`~repro.faults.FaultSchedule` *from the established
+plans* so every fault is guaranteed to matter:
+
+* an **interior link** of channel 0's walk flaps → detection → repair onto
+  a surviving walk;
+* channel 1's **responder access link** flaps — no alternate path exists,
+  so the flow parks and recovers when the link heals;
+* an **MN switch** of channel 2 crashes and reboots → the MC re-syncs the
+  wiped tables from stored intent;
+* a **control partition** and a probabilistic **flow-mod loss/delay
+  window** stress the controller's ack/retry machinery throughout.
+
+Each channel runs a sequence-numbered probe/echo loop; availability is
+answered-over-sent per channel.  A :class:`~repro.attacks.ObservationPoint`
+sits on one of channel 0's MNs so the scorecard also reports attacker
+accuracy under churn.  Everything is seeded — the same seed produces the
+same scorecard byte for byte.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..attacks import ObservationPoint, correlate_with_truth
+from ..core.client import MicDatagramServer
+from ..core.deployment import MicDeployment, deploy_mic
+from ..net.topology import fat_tree
+from ..obs.flight import FlightRecorder
+from .schedule import FaultSchedule
+from .scorecard import ChannelProbeStats, build_scorecard
+
+__all__ = ["default_schedule", "run_chaos"]
+
+#: Wall of the scenario: probes run this long after the faults start.
+PROBE_HORIZON_S = 15.0
+
+
+def default_schedule(dep: MicDeployment, channel_ids: list[int],
+                     seed: int, t0: float) -> FaultSchedule:
+    """The canonical chaos plan, targeted at the established channels.
+
+    ``channel_ids`` must name at least three live channels; fault targets
+    are read off their first m-flow walks so every fault hits real state.
+    All times are offsets from ``t0`` (the moment probing starts).
+    """
+    if len(channel_ids) < 3:
+        raise ValueError(f"need >= 3 channels, got {len(channel_ids)}")
+    walk0 = dep.mic.channels[channel_ids[0]].flows[0].walk
+    walk1 = dep.mic.channels[channel_ids[1]].flows[0].walk
+    plan2 = dep.mic.channels[channel_ids[2]].flows[0]
+
+    sched = FaultSchedule(seed=seed)
+    # Interior switch-switch hop of channel 0 (never a host-adjacent edge):
+    # alternates exist, so this exercises detect -> replan -> repair.
+    mid = len(walk0) // 2
+    sched.link_flap(walk0[mid - 1], walk0[mid], at_s=t0 + 1.0, down_for_s=2.0)
+    # Channel 1's responder access link: the only path to the host, so the
+    # repair finds no surviving walk and parks until the heal at +7s.
+    sched.link_flap(walk1[-2], walk1[-1], at_s=t0 + 4.0, down_for_s=3.0)
+    # Crash channel 2's first MN: tables wiped, re-synced on reboot.
+    sched.switch_crash(plan2.walk[plan2.mn_positions[0]],
+                       at_s=t0 + 8.0, down_for_s=1.5)
+    # Control-channel partition of the crashed MN right after its reboot
+    # window, plus a long probabilistic flow-mod loss/delay window that
+    # overlaps every repair above.
+    sched.control_partition(plan2.walk[plan2.mn_positions[0]],
+                            at_s=t0 + 10.0, duration_s=1.0)
+    sched.rule_install_loss(at_s=t0 + 0.5, duration_s=12.0,
+                            loss_prob=0.2, delay_prob=0.2,
+                            extra_delay_s=0.002)
+    return sched
+
+
+def run_chaos(
+    seed: int = 0,
+    n_channels: int = 3,
+    n_mns: int = 3,
+    decoys: int = 1,
+    probe_period_s: float = 0.2,
+    detection_latency_s: float = 0.002,
+    max_settle_s: float = 30.0,
+    schedule: Optional[FaultSchedule] = None,
+) -> tuple[dict, MicDeployment]:
+    """Run one seeded chaos scenario; returns ``(scorecard, deployment)``.
+
+    With ``schedule=None`` the :func:`default_schedule` is built from the
+    established channels.  A supplied schedule must not be attached yet —
+    its absolute times should assume faults start a few seconds into the
+    run (establishment takes ~1 simulated second).
+    """
+    if n_channels < 1 or n_channels > 8:
+        raise ValueError(f"n_channels {n_channels} out of [1, 8]")
+    flight = FlightRecorder()
+    dep = deploy_mic(
+        fat_tree(4),
+        seed=seed,
+        observe=True,
+        journey=True,
+        journey_kwargs={"flight": flight},
+        controller_kwargs={"detection_latency_s": detection_latency_s},
+    )
+    sim = dep.sim
+
+    # -- establish n datagram channels on cross-pod host pairs -------------
+    pairs = [(f"h{i}", f"h{17 - i}", 7000 + i) for i in range(1, n_channels + 1)]
+    servers = []
+    sockets: dict[int, object] = {}
+
+    def serve(server):
+        while True:
+            dg = yield server.recv()
+            server.reply(dg, dg.data)
+
+    def establish(idx: int, a: str, b: str, port: int):
+        sock = yield from dep.endpoint(a).connect_datagram(
+            b, service_port=port, n_mns=n_mns, decoys=decoys
+        )
+        sockets[idx] = sock
+
+    for idx, (a, b, port) in enumerate(pairs):
+        srv = MicDatagramServer(dep.net.host(b), port)
+        servers.append(srv)
+        sim.process(serve(srv), name=f"chaos.server{idx}")
+        sim.process(establish(idx, a, b, port), name=f"chaos.establish{idx}")
+    dep.run_for(5.0)
+    if len(sockets) != len(pairs):
+        raise RuntimeError(
+            f"only {len(sockets)}/{len(pairs)} channels established"
+        )
+
+    channel_ids = [sockets[i].channel_id for i in range(len(pairs))]
+    t0 = sim.now
+    if schedule is None:
+        schedule = default_schedule(dep, channel_ids, seed, t0)
+    schedule.attach(dep.net, dep.ctrl)
+
+    # The compromised MN: one of channel 0's mimic nodes, tapped before
+    # any probe traffic flows.
+    plan0 = dep.mic.channels[channel_ids[0]].flows[0]
+    point = ObservationPoint(dep.net, plan0.walk[plan0.mn_positions[0]])
+
+    # -- probe loops -------------------------------------------------------
+    probes = [
+        ChannelProbeStats(channel_id=cid, initiator=a, responder=b)
+        for cid, (a, b, _port) in zip(channel_ids, pairs)
+    ]
+
+    def pump(idx: int, stats: ChannelProbeStats):
+        sock = sockets[idx]
+        end = t0 + PROBE_HORIZON_S
+        seq = 0
+        while sim.now < end:
+            sock.send(f"probe:{idx}:{seq}".encode())
+            stats.sent += 1
+            seq += 1
+            yield sim.timeout(probe_period_s)
+
+    def drain(idx: int, stats: ChannelProbeStats):
+        sock = sockets[idx]
+        while True:
+            yield sock.recv()
+            stats.answered += 1
+
+    for idx, stats in enumerate(probes):
+        sim.process(pump(idx, stats), name=f"chaos.pump{idx}")
+        sim.process(drain(idx, stats), name=f"chaos.drain{idx}")
+
+    # -- run the scenario, then settle until recovery converges ------------
+    dep.run_for(PROBE_HORIZON_S + 1.0)
+    deadline = sim.now + max_settle_s
+    while (dep.mic.parked_flows or dep.mic.repairs_in_flight) and sim.now < deadline:
+        dep.run_for(0.5)
+    dep.run_for(2.0)  # drain the last in-flight replies
+
+    # -- score -------------------------------------------------------------
+    journeys = (
+        dep.journey.journeys_by_content_tag() if dep.journey is not None else {}
+    )
+    attacker = correlate_with_truth(point, journeys)
+    verification = dep.mic.verify()
+    card = build_scorecard(dep, probes, schedule,
+                           attacker=attacker, verification=verification)
+    return card, dep

@@ -1,0 +1,190 @@
+"""Declarative fault specifications.
+
+A fault spec describes *what goes wrong and when* without touching the
+simulator: link flaps (one-shot or periodic), switch crash/reboot cycles,
+control-channel partitions, and probabilistic flow-mod loss/delay windows.
+:class:`~repro.faults.schedule.FaultSchedule` compiles a list of specs into
+sim events and the per-message fault plane the controller consults.
+
+All times are absolute simulated seconds; a spec is a frozen value object,
+so schedules serialize and compare cleanly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Union
+
+__all__ = [
+    "ControlPartition",
+    "FaultSpec",
+    "LinkFlap",
+    "RuleInstallLoss",
+    "SwitchCrash",
+]
+
+
+@dataclass(frozen=True)
+class LinkFlap:
+    """Bring link a<->b down at ``at_s`` for ``down_for_s`` seconds.
+
+    With ``period_s`` set, the flap repeats: ``count`` down/up cycles
+    starting at ``at_s``, one every ``period_s`` seconds.  The up edge of
+    each cycle is a heal event — parked flows retry on it.
+    """
+
+    a: str
+    b: str
+    at_s: float
+    down_for_s: float
+    period_s: Optional[float] = None
+    count: int = 1
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on an impossible window or parameter."""
+        if self.at_s < 0.0 or self.down_for_s <= 0.0:
+            raise ValueError(f"bad flap window at={self.at_s} down={self.down_for_s}")
+        if self.count < 1:
+            raise ValueError(f"count {self.count} must be >= 1")
+        if self.period_s is not None and self.period_s <= self.down_for_s:
+            raise ValueError(
+                f"period {self.period_s} must exceed down_for {self.down_for_s}"
+            )
+        if self.period_s is None and self.count > 1:
+            raise ValueError("count > 1 requires period_s")
+
+    def windows(self) -> Iterator[tuple[float, float]]:
+        """Yield each (down_at, up_at) cycle."""
+        step = self.period_s if self.period_s is not None else 0.0
+        for i in range(self.count):
+            start = self.at_s + i * step
+            yield start, start + self.down_for_s
+
+    def describe(self) -> str:
+        """One-line human description of this fault."""
+        cycles = f" x{self.count} every {self.period_s}s" if self.count > 1 else ""
+        return (
+            f"link {self.a}<->{self.b} down at {self.at_s}s "
+            f"for {self.down_for_s}s{cycles}"
+        )
+
+
+@dataclass(frozen=True)
+class SwitchCrash:
+    """Crash ``switch`` at ``at_s``; reboot ``down_for_s`` seconds later.
+
+    The crash wipes the flow table, group table, and lookup cache; the
+    chassis blackholes traffic until the reboot, when the controller
+    re-syncs its rules from stored intent.
+    """
+
+    switch: str
+    at_s: float
+    down_for_s: float
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on an impossible window or parameter."""
+        if self.at_s < 0.0 or self.down_for_s <= 0.0:
+            raise ValueError(
+                f"bad crash window at={self.at_s} down={self.down_for_s}"
+            )
+
+    def windows(self) -> Iterator[tuple[float, float]]:
+        """Yield each ``(down_at, up_at)`` cycle."""
+        yield self.at_s, self.at_s + self.down_for_s
+
+    def describe(self) -> str:
+        """One-line human description of this fault."""
+        return (
+            f"switch {self.switch} crash at {self.at_s}s, "
+            f"reboot after {self.down_for_s}s"
+        )
+
+
+@dataclass(frozen=True)
+class ControlPartition:
+    """Partition ``switch`` from the controller for ``duration_s`` seconds.
+
+    While active, packet-ins from (and packet-outs to) the switch are
+    silently dropped.  The data plane keeps forwarding on installed rules.
+    """
+
+    switch: str
+    at_s: float
+    duration_s: float
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on an impossible window or parameter."""
+        if self.at_s < 0.0 or self.duration_s <= 0.0:
+            raise ValueError(
+                f"bad partition window at={self.at_s} for={self.duration_s}"
+            )
+
+    def active(self, now: float, switch_name: str) -> bool:
+        """True when this spec applies to ``switch_name`` at ``now``."""
+        return (
+            switch_name == self.switch
+            and self.at_s <= now < self.at_s + self.duration_s
+        )
+
+    def describe(self) -> str:
+        """One-line human description of this fault."""
+        return (
+            f"control partition of {self.switch} at {self.at_s}s "
+            f"for {self.duration_s}s"
+        )
+
+
+@dataclass(frozen=True)
+class RuleInstallLoss:
+    """Probabilistic flow-mod loss/delay inside a time window.
+
+    Each control message sent during [``at_s``, ``at_s + duration_s``) to a
+    matching switch is independently lost with ``loss_prob``, and delayed
+    by ``extra_delay_s`` with ``delay_prob``.  ``switches=None`` matches
+    every switch.  Lost mods are re-driven by the controller's ack/retry
+    machinery.
+    """
+
+    at_s: float
+    duration_s: float
+    loss_prob: float = 0.0
+    delay_prob: float = 0.0
+    extra_delay_s: float = 0.0
+    switches: Optional[tuple[str, ...]] = None
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on an impossible window or parameter."""
+        if self.at_s < 0.0 or self.duration_s <= 0.0:
+            raise ValueError(
+                f"bad loss window at={self.at_s} for={self.duration_s}"
+            )
+        for p in (self.loss_prob, self.delay_prob):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"probability {p} out of [0, 1]")
+        if self.extra_delay_s < 0.0:
+            raise ValueError(f"extra_delay_s {self.extra_delay_s} must be >= 0")
+        if self.loss_prob == 0.0 and self.delay_prob == 0.0:
+            raise ValueError("loss window with neither loss nor delay")
+
+    def active(self, now: float, switch_name: str) -> bool:
+        """True when this spec applies to ``switch_name`` at ``now``."""
+        if not self.at_s <= now < self.at_s + self.duration_s:
+            return False
+        return self.switches is None or switch_name in self.switches
+
+    def describe(self) -> str:
+        """One-line human description of this fault."""
+        scope = "all switches" if self.switches is None else ",".join(self.switches)
+        parts = []
+        if self.loss_prob:
+            parts.append(f"loss p={self.loss_prob}")
+        if self.delay_prob:
+            parts.append(f"+{self.extra_delay_s}s delay p={self.delay_prob}")
+        return (
+            f"flow-mod {' '.join(parts)} on {scope} at {self.at_s}s "
+            f"for {self.duration_s}s"
+        )
+
+
+FaultSpec = Union[LinkFlap, SwitchCrash, ControlPartition, RuleInstallLoss]

@@ -505,6 +505,21 @@ class FlowTable:
             self._bump()
         return len(stale)
 
+    def clear(self) -> int:
+        """Wipe every flow entry and group (a switch losing its state on a
+        crash); returns the number of entries dropped.
+
+        The lookup cache is invalidated through the same version bump as any
+        other mutation, so a rebooted switch starts cold.
+        """
+        dropped = self._count
+        self._tiers.clear()
+        self._neg_prios.clear()
+        self._groups.clear()
+        self._count = 0
+        self._bump()
+        return dropped
+
     # -- the entry-view API ----------------------------------------------
     # Everything outside this module (analysis, obs, controllers, tests)
     # reads the table through these accessors, never through the tiered

@@ -76,6 +76,10 @@ class Channel:
         backlog = self.backlog_bytes()
         if not self.up:
             self.stats.drops += 1
+            self.trace.emit(
+                self.sim.now, "link.drop", self.name,
+                uid=packet.uid, size=packet.size,
+            )
             if self.journey is not None:
                 self.journey.on_link_drop(self, packet, backlog)
             return False
@@ -113,8 +117,26 @@ class Channel:
 
     def _deliver(self, packet: Packet) -> None:
         if not self.up:
+            # The link went down while the packet was in flight (serializing
+            # or propagating): it is lost, and the loss must be visible —
+            # silently returning here would leave drops uncounted and
+            # journeys dangling mid-hop.
+            self.stats.drops += 1
+            self.trace.emit(
+                self.sim.now, "link.drop", self.name,
+                uid=packet.uid, size=packet.size, in_flight=True,
+            )
+            if self.journey is not None:
+                self.journey.on_link_drop(self, packet, self.backlog_bytes())
             return
         self.dst.receive(packet, self.dst_port)
+
+    def set_state(self, up: bool) -> None:
+        """Administratively flip this direction's state."""
+        changed = up != self.up
+        self.up = up
+        if changed and not up and self.journey is not None:
+            self.journey.on_link_state(self, up)
 
 
 class Link:
@@ -145,8 +167,8 @@ class Link:
 
     def set_up(self, up: bool) -> None:
         """Bring both directions up or down."""
-        self.forward.up = up
-        self.reverse.up = up
+        self.forward.set_state(up)
+        self.reverse.set_state(up)
 
     @property
     def endpoints(self) -> tuple[str, str]:

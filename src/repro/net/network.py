@@ -43,6 +43,8 @@ class Network:
         self._ip_index: dict[IPv4Addr, Host] = {}
         #: callbacks invoked as fn(a, b, up) on link state changes
         self.link_listeners: list = []
+        #: callbacks invoked as fn(name, up) on switch crash/reboot
+        self.switch_listeners: list = []
         self._link_index: dict[tuple[str, str], Link] = {}
         self._build()
 
@@ -131,6 +133,29 @@ class Network:
         )
         for listener in list(self.link_listeners):
             listener(a, b, up)
+
+    def set_switch_state(self, name: str, up: bool) -> None:
+        """Crash or reboot a switch and notify listeners.
+
+        A crash wipes the flow table, group table, and lookup cache
+        (:meth:`Switch.crash`); the chassis then blackholes traffic until
+        the matching reboot.  The adjacent links stay physically up — it is
+        the controller's job to notice (heartbeat loss / chassis events) and
+        to re-sync rules after the reboot.
+        """
+        sw = self.switch(name)
+        if up == sw.alive:
+            return
+        lost = 0
+        if up:
+            sw.reboot()
+        else:
+            lost = sw.crash()
+        self.trace.emit(
+            self.sim.now, "switch.state", name, up=up, entries_lost=lost
+        )
+        for listener in list(self.switch_listeners):
+            listener(name, up)
 
     # -- measurement helpers -------------------------------------------------
     def total_cpu_busy_s(self) -> float:

@@ -17,7 +17,11 @@ from .node import Node
 from .packet import Packet
 from .params import NetParams
 
-__all__ = ["Switch"]
+__all__ = ["Switch", "SwitchDownError"]
+
+
+class SwitchDownError(RuntimeError):
+    """A flow-mod reached a switch whose chassis is down (crashed)."""
 
 #: callback type the controller registers: (switch, packet, in_port) -> None
 PacketInHandler = Callable[["Switch", Packet, int], None]
@@ -39,6 +43,11 @@ class Switch(Node):
         self.mirror_taps: list[Callable[[Packet, int, str], None]] = []
         self.packets_forwarded = 0
         self.packets_punted = 0
+        #: False while the switch is crashed: the table is wiped, arriving
+        #: packets blackhole, and nothing is punted to the controller
+        self.alive = True
+        self.crashes = 0
+        self.packets_dropped_dead = 0
 
     # -- controller wiring -------------------------------------------------
     def connect_controller(self, handler: PacketInHandler) -> None:
@@ -56,9 +65,32 @@ class Switch(Node):
         for tap in self.mirror_taps:
             tap(packet, port, direction)
 
+    # -- crash / reboot ------------------------------------------------------
+    def crash(self) -> int:
+        """Lose all volatile state: flow table, group table, lookup cache.
+
+        Models a switch reboot's blackout phase — the chassis is dead until
+        :meth:`reboot`, so packets arriving meanwhile are dropped on the
+        floor and nothing reaches the controller.  Returns the number of
+        flow entries lost.
+        """
+        self.alive = False
+        self.crashes += 1
+        return self.table.clear()
+
+    def reboot(self) -> None:
+        """Come back up with empty tables (the controller re-syncs rules)."""
+        self.alive = True
+
     # -- data path -----------------------------------------------------------
     def receive(self, packet: Packet, in_port: int) -> None:
         """Data-path entry: mirror, delay, then classify."""
+        if not self.alive:
+            self.packets_dropped_dead += 1
+            self.trace.emit(
+                self.sim.now, "switch.dead_drop", self.name, uid=packet.uid
+            )
+            return
         self._mirror(packet, in_port, "in")
         if self.journey is not None:
             self.journey.on_switch_ingress(self, packet, in_port)
@@ -74,6 +106,13 @@ class Switch(Node):
         self.sim.call_later(delay, lambda: self._classify(packet, in_port))
 
     def _classify(self, packet: Packet, in_port: int) -> None:
+        if not self.alive:
+            # Crashed mid-pipeline: the packet dies with the chassis.
+            self.packets_dropped_dead += 1
+            self.trace.emit(
+                self.sim.now, "switch.dead_drop", self.name, uid=packet.uid
+            )
+            return
         packet.ttl -= 1
         if packet.ttl <= 0:
             self.trace.emit(self.sim.now, "switch.ttl_expired", self.name, uid=packet.uid)
@@ -122,8 +161,8 @@ class Switch(Node):
             self.transmit(out_pkt, port)
 
     def _punt(self, packet: Packet, in_port: int) -> None:
-        if self._packet_in is None:
-            return  # no controller: drop, as a real switch with no rule would
+        if self._packet_in is None or not self.alive:
+            return  # no controller (or a dead one's chassis): drop
         handler = self._packet_in
         self.sim.call_later(
             self.params.packet_in_delay_s, lambda: handler(self, packet, in_port)
@@ -141,6 +180,9 @@ class Switch(Node):
         ev = self.sim.event()
 
         def _do():
+            if not self.alive:
+                ev.fail(SwitchDownError(f"{self.name} is down"))
+                return
             try:
                 self.table.install(entry)
             except TableFullError as exc:
@@ -176,6 +218,9 @@ class Switch(Node):
         ev = self.sim.event()
 
         def _do():
+            if not self.alive:
+                ev.fail(SwitchDownError(f"{self.name} is down"))
+                return
             for entry in entries:
                 try:
                     self.table.install(entry)

@@ -127,8 +127,29 @@ CONTRACT: tuple[MetricSpec, ...] = (
         "the controller sends a flow-mod to a switch",
     ),
     MetricSpec(
+        "ctrl.flow_mods.lost", "counter", "messages", (),
+        "a fault plane drops a flow-mod in the control channel (0 without "
+        "an attached fault schedule)",
+    ),
+    MetricSpec(
+        "ctrl.flow_mods.retried", "counter", "messages", (),
+        "the controller re-drives a flow-mod after an ack timeout",
+    ),
+    MetricSpec(
         "mic.requests.served", "counter", "requests", (),
         "the MC starts serving a control request (establish/shutdown/notify)",
+    ),
+    MetricSpec(
+        "mic.repairs.completed", "counter", "repairs", (),
+        "the MC finishes rerouting one m-flow around a failed link",
+    ),
+    MetricSpec(
+        "mic.repairs.parked", "counter", "parks", (),
+        "a repair finds no surviving path and parks the flow for later",
+    ),
+    MetricSpec(
+        "mic.resyncs.completed", "counter", "resyncs", (),
+        "the MC finishes re-installing a rebooted switch's rules from intent",
     ),
     MetricSpec(
         "mic.channels.live", "gauge", "channels", (),
@@ -137,6 +158,10 @@ CONTRACT: tuple[MetricSpec, ...] = (
     MetricSpec(
         "mic.flows.live", "gauge", "flows", (),
         "sampled at snapshot time: live m-flow IDs",
+    ),
+    MetricSpec(
+        "mic.flows.parked", "gauge", "flows", (),
+        "sampled at snapshot time: flows parked awaiting a surviving path",
     ),
     MetricSpec(
         "mic.rules.installed", "gauge", "entries", (),
@@ -185,6 +210,15 @@ CONTRACT: tuple[MetricSpec, ...] = (
     MetricSpec(
         "mic.install_batch", "span", "seconds", ("channel", "installs"),
         "a channel's flow-mod/group-mod batch is fully installed",
+    ),
+    MetricSpec(
+        "mic.repair", "span", "seconds", ("channel", "flow_id"),
+        "a repair process ends: the flow is rerouted (outcome=repaired) "
+        "or parked with no surviving path (outcome=parked)",
+    ),
+    MetricSpec(
+        "mic.resync", "span", "seconds", ("switch",),
+        "the MC finishes re-driving a rebooted switch's rules from intent",
     ),
     MetricSpec(
         "bench.setup", "span", "seconds", ("protocol",),

@@ -68,6 +68,12 @@ ANOMALY_TRIGGERS: tuple[AnomalyTrigger, ...] = (
         "the default)",
     ),
     AnomalyTrigger(
+        "link_down", "link.down", True,
+        "a directed channel is administratively brought down (fault "
+        "injection or scripted failure) — snapshots the traffic leading "
+        "up to the outage",
+    ),
+    AnomalyTrigger(
         "miss", "switch.miss", False,
         "a table miss punts a packet to the controller — opt-in, because "
         "reactive deployments punt control packets by design",

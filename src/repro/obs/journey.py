@@ -134,6 +134,11 @@ JOURNEY_EVENTS: tuple[JourneyEventSpec, ...] = (
         "or link down)",
     ),
     JourneyEventSpec(
+        "link.down", "channel", ("up",),
+        "a directed channel is administratively brought down (link failure "
+        "or fault injection); not packet-scoped — uid and content_tag are 0",
+    ),
+    JourneyEventSpec(
         "host.rx", "host", ("src_ip", "latency_s", "size"),
         "the destination host NIC accepts the packet (end of the journey)",
     ),
@@ -586,6 +591,22 @@ class JourneyRecorder:
                 "link.drop", channel.name, packet,
                 backlog_bytes=backlog_bytes, size=packet.size,
             )
+
+    def on_link_state(self, channel: "Channel", up: bool) -> None:
+        """A directed channel was administratively brought down.
+
+        Not packet-scoped: the event carries uid 0 and content tag 0 and
+        feeds only the flight recorder (there is no journey to append to) —
+        it exists so an armed ``link_down`` trigger snapshots the traffic
+        leading up to the failure.
+        """
+        if self.flight is None:
+            return
+        ev = JourneyEvent(
+            self.sim.now, "link.down", channel.name, 0, 0, {"up": up}
+        )
+        self.events_recorded += 1
+        self.flight.observe(ev)
 
     def on_host_rx(self, host: "Host", packet: "Packet") -> None:
         """The destination NIC accepted the packet."""

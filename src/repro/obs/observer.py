@@ -219,12 +219,18 @@ class Observer:
         if self.controller is not None:
             snap.add("ctrl.packet_in.count", self.controller.packet_in_count)
             snap.add("ctrl.flow_mods.sent", self.controller.flow_mods_sent)
+            snap.add("ctrl.flow_mods.lost", self.controller.flow_mods_lost)
+            snap.add("ctrl.flow_mods.retried", self.controller.flow_mods_retried)
         if self.mic is not None:
             snap.add("mic.requests.served", self.mic.requests_served)
             snap.add("mic.channels.live", self.mic.live_channels)
             snap.add("mic.flows.live", self.mic.flow_ids.live_count)
+            snap.add("mic.flows.parked", self.mic.parked_flows)
             snap.add("mic.rules.installed", sum(self.mic.rule_footprint().values()))
             snap.add("mic.cpu.busy_s", self.mic.cpu_busy_s)
+            snap.add("mic.repairs.completed", self.mic.repairs_completed)
+            snap.add("mic.repairs.parked", self.mic.repairs_parked)
+            snap.add("mic.resyncs.completed", self.mic.resyncs_completed)
 
     # -- reporting ----------------------------------------------------------
     def summary(self) -> str:

@@ -15,10 +15,15 @@ from typing import Optional, Sequence
 from ..net.flowtable import FlowEntry, GroupEntry, Match, Output
 from ..net.network import Network
 from ..net.packet import Packet
-from ..net.switch import Switch
-from .discovery import TopologyView
+from ..net.switch import Switch, SwitchDownError
+from ..sim.engine import Event
+from .discovery import FailureDetector, TopologyView
 
-__all__ = ["Controller", "ControllerApp"]
+__all__ = ["Controller", "ControllerApp", "InstallLostError"]
+
+
+class InstallLostError(RuntimeError):
+    """Every retry of a flow-mod was lost before reaching the switch."""
 
 
 class ControllerApp:
@@ -37,21 +42,59 @@ class ControllerApp:
     def on_link_event(self, a: str, b: str, up: bool) -> None:
         """React to a link up/down event (view is already updated)."""
 
+    def on_switch_event(self, name: str, up: bool) -> None:
+        """React to a switch crash/reboot event (detected, not instant)."""
+
 
 class Controller:
-    """The network's single logical controller (assumed secure, Sec III-D)."""
+    """The network's single logical controller (assumed secure, Sec III-D).
 
-    def __init__(self, network: Network, seed_stream: str = "controller"):
+    Failure detection and flow-mod reliability are both configurable:
+
+    * ``detection_latency_s`` / ``heartbeat_period_s`` feed a
+      :class:`~repro.sdn.discovery.FailureDetector` that delays link and
+      switch state changes on their way to the control plane.  The zero
+      default is synchronous and byte-identical to the old oracle wiring.
+    * When a fault plane is attached (:attr:`faults`, set by
+      ``FaultSchedule.attach``), every flow-mod's fate is decided at send
+      time — it may be lost or delayed — and the controller drives lost
+      mods again after ``ack_timeout_s`` with doubled backoff, up to
+      ``max_install_retries`` retries.  Without a fault plane the install
+      path is exactly the pre-fault code.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        seed_stream: str = "controller",
+        detection_latency_s: float = 0.0,
+        heartbeat_period_s: Optional[float] = None,
+        ack_timeout_s: float = 0.004,
+        max_install_retries: int = 8,
+    ):
         self.network = network
         self.sim = network.sim
         self.view = TopologyView(network.topo)
         self.apps: list[ControllerApp] = []
         self.rng = self.sim.rng(seed_stream)
+        self.detector = FailureDetector(
+            self.sim,
+            latency_s=detection_latency_s,
+            heartbeat_period_s=heartbeat_period_s,
+        )
+        self.ack_timeout_s = ack_timeout_s
+        self.max_install_retries = max_install_retries
+        #: fault plane consulted per flow-mod / packet-in; None = no faults
+        self.faults = None
         self.packet_in_count = 0
         self.flow_mods_sent = 0
+        self.flow_mods_lost = 0
+        self.flow_mods_retried = 0
+        self.packet_ins_blocked = 0
         for sw in network.switches():
             sw.connect_controller(self._handle_packet_in)
         network.link_listeners.append(self._handle_link_event)
+        network.switch_listeners.append(self._handle_switch_event)
 
     # -- app management -----------------------------------------------------
     def register(self, app: ControllerApp) -> ControllerApp:
@@ -61,6 +104,14 @@ class Controller:
         return app
 
     def _handle_packet_in(self, switch: Switch, packet: Packet, in_port: int) -> None:
+        if self.faults is not None and self.faults.packet_in_blocked(switch.name):
+            # Control-channel partition: the punt never reaches the MC.
+            self.packet_ins_blocked += 1
+            self.network.trace.emit(
+                self.sim.now, "ctrl.packet_in_blocked", switch.name,
+                uid=packet.uid,
+            )
+            return
         self.packet_in_count += 1
         self.network.trace.emit(
             self.sim.now,
@@ -75,6 +126,9 @@ class Controller:
                 return
 
     def _handle_link_event(self, a: str, b: str, up: bool) -> None:
+        self.detector.deliver(self._on_link_detected, a, b, up)
+
+    def _on_link_detected(self, a: str, b: str, up: bool) -> None:
         self.network.trace.emit(
             self.sim.now, "ctrl.link_event", f"{a}<->{b}", up=up
         )
@@ -82,11 +136,32 @@ class Controller:
         for app in self.apps:
             app.on_link_event(a, b, up)
 
+    def _handle_switch_event(self, name: str, up: bool) -> None:
+        self.detector.deliver(self._on_switch_detected, name, up)
+
+    def _on_switch_detected(self, name: str, up: bool) -> None:
+        self.network.trace.emit(
+            self.sim.now, "ctrl.switch_event", name, up=up
+        )
+        for app in self.apps:
+            app.on_switch_event(name, up)
+
     # -- southbound operations ---------------------------------------------
     def install(self, switch_name: str, entry: FlowEntry, delay: Optional[float] = None):
-        """Send a flow-mod; returns the event that fires once active."""
+        """Send a flow-mod; returns the event that fires once active.
+
+        With a fault plane attached the mod may be lost or delayed in the
+        control channel; lost mods are re-driven with backoff (acked
+        installs) and the returned event fails only when every retry is
+        exhausted.
+        """
         self.flow_mods_sent += 1
-        return self.network.switch(switch_name).install_later(entry, delay=delay)
+        sw = self.network.switch(switch_name)
+        if self.faults is None:
+            return sw.install_later(entry, delay=delay)
+        return self._reliable_send(
+            switch_name, lambda d: sw.install_later(entry, delay=d), delay
+        )
 
     def install_batch(
         self,
@@ -98,38 +173,140 @@ class Controller:
 
         The batch feeds the switch's classification index incrementally and
         costs a single lookup-cache invalidation; returns the event that
-        fires once every rule in the batch is active.
+        fires once every rule in the batch is active.  Loss and retry apply
+        to the batch as a unit (it is one control message).
         """
         self.flow_mods_sent += len(entries)
-        return self.network.switch(switch_name).install_many_later(
-            entries, delay=delay
+        sw = self.network.switch(switch_name)
+        if self.faults is None:
+            return sw.install_many_later(entries, delay=delay)
+        return self._reliable_send(
+            switch_name, lambda d: sw.install_many_later(entries, delay=d), delay
         )
 
     def install_group(self, switch_name: str, group: GroupEntry, delay: Optional[float] = None):
         """Send a group-mod; returns the install-complete event."""
         sw = self.network.switch(switch_name)
-        d = self.network.params.flow_install_delay_s if delay is None else delay
+        if self.faults is not None:
+            return self._reliable_send(
+                switch_name, lambda d: self._group_mod(sw, group, d), delay
+            )
+        return self._group_mod(
+            sw,
+            group,
+            self.network.params.flow_install_delay_s if delay is None else delay,
+        )
+
+    def _group_mod(self, sw: Switch, group: GroupEntry, delay: float):
         ev = self.sim.event()
 
         def _do():
+            if not sw.alive:
+                ev.fail(SwitchDownError(f"{sw.name} is down"))
+                return
             sw.table.install_group(group)
             ev.succeed()
 
-        self.sim.call_later(d, _do)
+        self.sim.call_later(delay, _do)
         return ev
 
-    def remove_by_cookie(self, switch_name: str, cookie: int) -> None:
-        """Remove all rules and groups tagged with ``cookie`` (teardown)."""
+    def _reliable_send(self, switch_name: str, send, delay: Optional[float]):
+        """Drive one control message through the fault plane with acks.
+
+        ``send(effective_delay)`` must return an install-complete event.
+        The message's fate — lost, delayed, or clean — is decided by the
+        fault plane at each attempt; a lost or failed attempt is retried
+        after ``ack_timeout_s`` (doubling each round) until it lands or
+        ``max_install_retries`` retries are spent.  Returns an event that
+        mirrors the final outcome.
+        """
+        base = self.network.params.flow_install_delay_s if delay is None else delay
+        done = self.sim.event()
+
+        def _proc():
+            timeout = self.ack_timeout_s
+            last_exc: Optional[BaseException] = None
+            for attempt in range(self.max_install_retries + 1):
+                if attempt > 0:
+                    self.flow_mods_retried += 1
+                lost, extra = self.faults.flowmod_fate(switch_name)
+                if lost:
+                    self.flow_mods_lost += 1
+                    self.network.trace.emit(
+                        self.sim.now, "ctrl.flowmod_lost", switch_name,
+                        attempt=attempt,
+                    )
+                    yield self.sim.timeout(timeout)
+                    timeout *= 2
+                    continue
+                try:
+                    yield send(base + extra)
+                except Exception as exc:
+                    # The switch rejected or never acked (crashed chassis,
+                    # table overflow): back off and re-drive like a loss.
+                    last_exc = exc
+                    yield self.sim.timeout(timeout)
+                    timeout *= 2
+                    continue
+                done.succeed()
+                return
+            done.fail(
+                last_exc
+                if last_exc is not None
+                else InstallLostError(
+                    f"flow-mod to {switch_name} lost "
+                    f"{self.max_install_retries + 1} times"
+                )
+            )
+
+        self.sim.process(_proc())
+        return done
+
+    def remove_by_cookie(self, switch_name: str, cookie: int) -> Event:
+        """Remove all rules and groups tagged with ``cookie`` (teardown).
+
+        Returns an event firing once the removal has landed on the switch.
+        Removals are idempotent, so under a lossy fault plane they are
+        re-driven without a retry budget (capped exponential backoff) —
+        repair sequences *must* observe old rules gone before re-using a
+        cookie, or a delayed removal could eat the replacement rules.
+        """
         sw = self.network.switch(switch_name)
+        done = self.sim.event()
 
         def _do():
             sw.table.remove_by_cookie(cookie)
             sw.table.remove_groups_by_cookie(cookie)
+            done.succeed()
 
-        self.sim.call_later(self.network.params.flow_install_delay_s, _do)
+        if self.faults is None:
+            self.sim.call_later(self.network.params.flow_install_delay_s, _do)
+            return done
+
+        def _proc():
+            timeout = self.ack_timeout_s
+            while True:
+                lost, extra = self.faults.flowmod_fate(switch_name)
+                if lost:
+                    self.flow_mods_lost += 1
+                    yield self.sim.timeout(timeout)
+                    timeout = min(timeout * 2, 64 * self.ack_timeout_s)
+                    continue
+                yield self.sim.timeout(
+                    self.network.params.flow_install_delay_s + extra
+                )
+                _do()
+                return
+
+        self.sim.process(_proc())
+        return done
 
     def packet_out(self, switch_name: str, packet: Packet, out_port: int) -> None:
         """Re-inject a punted packet at a switch."""
+        if self.faults is not None and self.faults.packet_in_blocked(switch_name):
+            # Partitioned control channel blocks the packet-out too.
+            self.packet_ins_blocked += 1
+            return
         sw = self.network.switch(switch_name)
         self.sim.call_later(
             self.network.params.packet_out_delay_s,

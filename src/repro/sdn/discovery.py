@@ -1,20 +1,100 @@
-"""Controller-side global network view.
+"""Controller-side global network view and failure detection.
 
 The MC "obtains the global view of the network and calculates all-pairs
 equal-cost shortest paths when initiation" (Sec IV-B2).  :class:`TopologyView`
 is that database: shortest-path distances, equal-cost path enumeration
 between host pairs, and the is-this-link-on-a-shortest-path predicate the
 m-address plausibility restrictions are built on.
+
+:class:`FailureDetector` models *how soon* the controller learns about a
+data-plane state change.  Port-status and chassis events do not reach the
+control plane instantly: OpenFlow port-status messages ride the control
+channel, and crash detection typically waits for missed echo/heartbeat
+rounds.  The detector turns a raw network event into a delayed controller
+callback, with an explicit zero-latency mode that is byte-identical to the
+oracle wiring the controller used before.
 """
 
 from __future__ import annotations
 
 
+from typing import TYPE_CHECKING, Callable
+
 import networkx as nx
 
 from ..net.topology import Topology
 
-__all__ = ["TopologyView"]
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim import Simulator
+
+__all__ = ["FailureDetector", "TopologyView"]
+
+
+class FailureDetector:
+    """Delays data-plane state changes on their way to the controller.
+
+    Parameters
+    ----------
+    sim:
+        The simulator events are scheduled on.
+    latency_s:
+        Fixed delay between the physical event and the controller noticing
+        it (port-status propagation, processing).  0 (the default) with no
+        heartbeat means *immediate*: the callback runs synchronously, which
+        keeps the no-faults control plane byte-identical to the old direct
+        wiring.
+    heartbeat_period_s:
+        When set, detection additionally waits for the next heartbeat round:
+        the event is noticed at the first multiple of the period *strictly
+        after* it happened, plus ``latency_s``.  Models echo-request-based
+        liveness checking where a crash surfaces only when a beat goes
+        unanswered.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        latency_s: float = 0.0,
+        heartbeat_period_s: float | None = None,
+    ):
+        if latency_s < 0.0:
+            raise ValueError(f"latency_s {latency_s} must be >= 0")
+        if heartbeat_period_s is not None and heartbeat_period_s <= 0.0:
+            raise ValueError(
+                f"heartbeat_period_s {heartbeat_period_s} must be > 0"
+            )
+        self.sim = sim
+        self.latency_s = latency_s
+        self.heartbeat_period_s = heartbeat_period_s
+        self.events_delivered = 0
+
+    @property
+    def immediate(self) -> bool:
+        """True when detection is synchronous (no latency, no heartbeat)."""
+        return self.latency_s == 0.0 and self.heartbeat_period_s is None
+
+    def detection_delay(self) -> float:
+        """Seconds from now until the controller would notice an event."""
+        delay = self.latency_s
+        period = self.heartbeat_period_s
+        if period is not None:
+            now = self.sim.now
+            beats = int(now / period) + 1
+            delay += beats * period - now
+        return delay
+
+    def deliver(self, fn: Callable, *args) -> None:
+        """Run ``fn(*args)`` when the controller would learn of the event.
+
+        Immediate mode calls synchronously — no event is scheduled, so the
+        heap order (and therefore every downstream trace) is untouched
+        relative to the pre-detector oracle wiring.
+        """
+        self.events_delivered += 1
+        if self.immediate:
+            fn(*args)
+        else:
+            self.sim.call_later(self.detection_delay(), lambda: fn(*args))
 
 
 class TopologyView:

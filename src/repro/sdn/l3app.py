@@ -11,7 +11,9 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..net.flowtable import Match
+import networkx as nx
+
+from ..net.flowtable import FlowEntry, Match, Output
 from ..net.packet import Packet
 from ..net.switch import Switch
 from .controller import ControllerApp
@@ -50,7 +52,13 @@ class L3ShortestPathApp(ControllerApp):
             return True
         self._installed_pairs.add(pair)
         self._pending.setdefault(pair, []).append((switch, packet, in_port))
-        self.wire_pair(src_host.name, dst_host.name, release_pair=pair)
+        try:
+            self.wire_pair(src_host.name, dst_host.name, release_pair=pair)
+        except (nx.NetworkXNoPath, KeyError, IndexError):
+            # No surviving path right now: drop the held packets and forget
+            # the pair so a later packet-in retries once the fabric heals.
+            self._installed_pairs.discard(pair)
+            self._pending.pop(pair, None)
         return True
 
     # ------------------------------------------------------------------
@@ -131,7 +139,52 @@ class L3ShortestPathApp(ControllerApp):
                 src_ip = self.controller.network.host(p[0]).ip
                 dst_ip = self.controller.network.host(p[1]).ip
                 self._installed_pairs.discard((src_ip, dst_ip))
-            self.wire_pair(src, dst)
+            try:
+                self.wire_pair(src, dst)
+            except (nx.NetworkXNoPath, KeyError, IndexError):
+                # The pair is unreachable on the surviving fabric; leave it
+                # unwired — the next packet-in rewires it reactively.
+                pass
+
+    # ------------------------------------------------------------------
+    def on_switch_event(self, name: str, up: bool) -> None:
+        """Re-install a rebooted switch's rules for every wired pair.
+
+        Deterministic and RNG-free: each affected pair keeps its chosen
+        path and cookie, only the wiped switch's hop rules are re-sent.
+        Nothing to do on the down edge — the chassis blackholes until the
+        reboot, and the stored paths are still the right ones after it.
+        """
+        if not up:
+            return
+        ctrl = self.controller
+        net = ctrl.network
+        reinstalled: set[frozenset] = set()
+        for pair, path in list(self.pair_paths.items()):
+            if name not in path:
+                continue
+            key = frozenset(pair)
+            if key in reinstalled:
+                continue  # forward+reverse share the path and cookie
+            reinstalled.add(key)
+            src, dst = pair
+            cookie = self._pair_cookies[pair]
+            src_ip = net.host(src).ip
+            dst_ip = net.host(dst).ip
+            for hop_path, match in (
+                (path, Match(ip_src=src_ip, ip_dst=dst_ip)),
+                (list(reversed(path)), Match(ip_src=dst_ip, ip_dst=src_ip)),
+            ):
+                for sw_name, out_port in ctrl.ports_along(hop_path):
+                    if sw_name != name:
+                        continue
+                    ctrl.install(
+                        sw_name,
+                        FlowEntry(
+                            match, [Output(out_port)],
+                            priority=self.priority, cookie=cookie,
+                        ),
+                    )
 
     # ------------------------------------------------------------------
     def wire_all_pairs(self) -> list:

@@ -1,0 +1,84 @@
+"""No fault machinery effect: an empty schedule leaves runs byte-identical.
+
+Mirrors the observability layer's disabled-path guarantee
+(tests/obs/test_observer_effect.py): a deployment with an *empty*
+FaultSchedule attached must produce exactly the trace of a deployment with
+no schedule at all — no events scheduled, no fault plane hooked, no RNG
+touched, no heap perturbation from the failure detector.
+"""
+
+import itertools
+
+from repro.core import channel, controller, deploy_mic
+from repro.faults import FaultSchedule
+from repro.net import flowtable, packet
+
+MESSAGE = b"f" * 300
+
+
+def _reset_id_counters():
+    """Pin the process-global ID mints so back-to-back runs compare clean
+    (same rationale as tests/obs/test_observer_effect.py)."""
+    packet._uid_counter = itertools.count(1)
+    packet._tag_counter = itertools.count(1)
+    flowtable._entry_counter = itertools.count(1)
+    channel._channel_ids = itertools.count(1)
+    controller._group_ids = itertools.count(1)
+    controller._cookie_ids = itertools.count(0x4D49_0000)
+
+
+def _echo_run(faults=None, seed=7):
+    """One seeded MIC echo h1 <-> h16; returns (trace reprs, end time, dep)."""
+    _reset_id_counters()
+    dep = deploy_mic(seed=seed, faults=faults)
+    server = dep.server("h16", 80)
+    alice = dep.endpoint("h1")
+
+    def client():
+        stream = yield from alice.connect("h16", service_port=80, n_mns=3)
+        stream.send(MESSAGE)
+        yield from stream.recv_exactly(len(MESSAGE))
+
+    def srv():
+        stream = yield server.accept()
+        data = yield from stream.recv_exactly(len(MESSAGE))
+        stream.send(data)
+
+    dep.sim.process(client())
+    dep.sim.process(srv())
+    dep.run_for(2.0)
+    return [repr(r) for r in dep.net.trace.records], dep.sim.now, dep
+
+
+def test_empty_schedule_is_byte_identical():
+    plain, t_plain, _ = _echo_run(faults=None)
+    sched = FaultSchedule(seed=99)
+    faulted, t_faulted, dep = _echo_run(faults=sched)
+    assert t_plain == t_faulted
+    assert plain == faulted
+    # ... and the schedule really attached as a no-op, not not-at-all.
+    assert sched.net is dep.net
+    assert sched.injected_events == 0
+    assert dep.ctrl.faults is None  # no fault plane -> legacy install path
+
+
+def test_timed_only_schedule_leaves_install_path_alone():
+    """A schedule with only timed faults (no loss/partition) never hooks the
+    controller's per-message fault plane: installs stay on the direct path
+    and the flap itself is the only divergence."""
+    sched = FaultSchedule()
+    sched.link_flap("c1", "c2", at_s=50.0, down_for_s=1.0)  # beyond horizon
+    _, _, dep = _echo_run(faults=sched)
+    assert dep.ctrl.faults is None
+    assert sched.injected_events == 2
+
+
+def test_immediate_detector_defaults_do_not_perturb():
+    """The default controller has a zero-latency detector; its synchronous
+    deliver() must not schedule events.  (The byte-identity test above
+    already proves this end-to-end; this pins the unit-level contract.)"""
+    _, _, dep = _echo_run()
+    assert dep.ctrl.detector.immediate
+    calls = []
+    dep.ctrl.detector.deliver(lambda a, b: calls.append((a, b)), 1, 2)
+    assert calls == [(1, 2)]  # ran synchronously, not via the heap

@@ -1,0 +1,131 @@
+"""Acked installs: lost flow-mods are re-driven with timeout and backoff."""
+
+import pytest
+
+from repro.faults import FaultSchedule
+from repro.net import FlowEntry, Match, Network, Output, fat_tree
+from repro.sdn import Controller
+from repro.sdn.controller import InstallLostError
+
+
+def _entry(net):
+    return FlowEntry(Match(ip_dst=net.host("h1").ip), [Output(1)])
+
+
+def _loss_schedule(net, ctrl, loss_prob=1.0, duration=0.05, seed=0, **kwargs):
+    sched = FaultSchedule(seed=seed)
+    sched.rule_install_loss(at_s=0.0, duration_s=duration, loss_prob=loss_prob,
+                            **kwargs)
+    sched.attach(net, ctrl)
+    return sched
+
+
+def test_lost_installs_are_retried_until_the_window_ends():
+    net = Network(fat_tree(4), seed=0)
+    ctrl = Controller(net, ack_timeout_s=0.004)
+    sched = _loss_schedule(net, ctrl, loss_prob=1.0, duration=0.05)
+    sw = net.switch("p0e0")
+    done = ctrl.install("p0e0", _entry(net))
+    net.run(until=1.0)
+    assert done.ok
+    assert len(list(sw.table.iter_entries())) == 1  # landed exactly once
+    assert ctrl.flow_mods_lost > 0
+    assert ctrl.flow_mods_retried > 0
+    assert sched.flowmods_lost == ctrl.flow_mods_lost
+
+
+def test_retry_budget_exhaustion_fails_the_install_event():
+    net = Network(fat_tree(4), seed=0)
+    ctrl = Controller(net, ack_timeout_s=0.004, max_install_retries=2)
+    _loss_schedule(net, ctrl, loss_prob=1.0, duration=60.0)
+    result = {}
+
+    def go():
+        try:
+            yield ctrl.install("p0e0", _entry(net))
+            result["outcome"] = "ok"
+        except InstallLostError:
+            result["outcome"] = "lost"
+
+    net.sim.process(go())
+    net.run(until=1.0)
+    assert result["outcome"] == "lost"
+    assert len(list(net.switch("p0e0").table.iter_entries())) == 0
+
+
+def test_delay_fault_defers_but_does_not_lose():
+    net = Network(fat_tree(4), seed=0)
+    ctrl = Controller(net)
+    _loss_schedule(net, ctrl, loss_prob=0.0, duration=10.0,
+                   delay_prob=1.0, extra_delay_s=0.05)
+    base = net.params.flow_install_delay_s
+    done = ctrl.install("p0e0", _entry(net))
+    net.run(until=base + 0.01)
+    assert not done.triggered  # still riding out the injected delay
+    net.run(until=base + 0.06)
+    assert done.ok
+    assert ctrl.flow_mods_lost == 0
+
+
+def test_loss_scope_spares_other_switches():
+    net = Network(fat_tree(4), seed=0)
+    ctrl = Controller(net, ack_timeout_s=0.004)
+    sched = FaultSchedule(seed=0)
+    sched.rule_install_loss(at_s=0.0, duration_s=10.0, loss_prob=1.0,
+                            switches=("p0e0",))
+    sched.attach(net, ctrl)
+    clean = ctrl.install("p0e1", _entry(net))
+    net.run(until=0.01)
+    assert clean.ok
+    assert ctrl.flow_mods_lost == 0
+
+
+def test_install_batch_and_group_ride_the_same_machinery():
+    net = Network(fat_tree(4), seed=0)
+    ctrl = Controller(net, ack_timeout_s=0.004)
+    _loss_schedule(net, ctrl, loss_prob=1.0, duration=0.02, seed=5)
+    from repro.net import GroupEntry
+
+    sw = net.switch("p0a0")
+    batch = ctrl.install_batch("p0a0", [_entry(net), _entry(net)])
+    group = ctrl.install_group(
+        "p0a0", GroupEntry(group_id=1, buckets=[[Output(1)], [Output(2)]])
+    )
+    net.run(until=1.0)
+    assert batch.ok and group.ok
+    assert len(list(sw.table.iter_entries())) == 2
+    assert sw.table.groups
+
+
+def test_partition_blocks_packet_ins():
+    net = Network(fat_tree(4), seed=0)
+    ctrl = Controller(net)
+    sched = FaultSchedule()
+    sched.control_partition("p0e0", at_s=0.0, duration_s=10.0)
+    sched.attach(net, ctrl)
+    h1 = net.host("h1")
+    # no rules anywhere: the first packet punts to the controller, but the
+    # partition swallows the packet-in
+    h1.send_packet(h1.make_packet(net.host("h2").ip, dport=80, payload_size=64))
+    net.run(until=0.1)
+    assert ctrl.packet_ins_blocked > 0
+    assert any(
+        r.category == "ctrl.packet_in_blocked" for r in net.trace.records
+    )
+
+
+def test_same_seed_same_fates():
+    def run(seed):
+        net = Network(fat_tree(4), seed=0)
+        ctrl = Controller(net, ack_timeout_s=0.004)
+        sched = _loss_schedule(net, ctrl, loss_prob=0.5, duration=10.0,
+                               seed=seed)
+        for _ in range(16):
+            ctrl.install("p0e0", _entry(net))
+        net.run(until=2.0)
+        return (ctrl.flow_mods_lost, ctrl.flow_mods_retried,
+                sched.flowmods_lost)
+
+    assert run(3) == run(3)
+    with pytest.raises(AssertionError):
+        assert run(3) == run(4)

@@ -141,6 +141,21 @@ def _observed_names() -> set[str]:
     dep.sim.process(client())
     dep.sim.process(srv())
     dep.run_for(2.0)
+
+    # Fault round: an interior link failure on the live walk fires the
+    # mic.repair span; a switch crash + reboot fires mic.resync.
+    plan = next(iter(dep.mic.channels.values())).flows[0]
+    mid = len(plan.walk) // 2
+    dep.net.set_link_state(plan.walk[mid - 1], plan.walk[mid], False)
+    dep.run_for(1.0)
+    dep.net.set_link_state(plan.walk[mid - 1], plan.walk[mid], True)
+    dep.run_for(1.0)
+    repaired = next(iter(dep.mic.channels.values())).flows[0]
+    crashed = repaired.walk[repaired.mn_positions[0]]
+    dep.net.set_switch_state(crashed, False)
+    dep.run_for(0.5)
+    dep.net.set_switch_state(crashed, True)
+    dep.run_for(1.0)
     names |= dep.obs.snapshot().names()
     return names
 

@@ -59,8 +59,12 @@ def test_drop_trigger_dumps_with_context():
     net.link_between("s1", "s2").set_up(False)
     h1.send_packet(h1.make_packet(h2.ip, sport=2, dport=80, payload_size=64))
     net.run()
-    (dump,) = flight.dumps
-    assert dump.trigger == "drop"
+    # bringing the link down dumps once per directed channel (link_down
+    # trigger), then the packet sent into the dead link dumps on the drop
+    down_dumps = [d for d in flight.dumps if d.trigger == "link_down"]
+    assert len(down_dumps) == 2
+    assert all(d.cause.kind == "link.down" for d in down_dumps)
+    (dump,) = [d for d in flight.dumps if d.trigger == "drop"]
     assert dump.cause.kind == "link.drop"
     assert dump.time_s <= net.sim.now
     # the snapshot holds the events leading up to the anomaly at every
@@ -130,8 +134,11 @@ def test_max_dumps_bounds_an_anomaly_storm():
         h1.send_packet(h1.make_packet(h2.ip, sport=i + 1, dport=80,
                                       payload_size=64))
     net.run()
+    # the two link_down dumps (one per directed channel) exhaust the
+    # budget; all five drops are suppressed
     assert len(flight.dumps) == 2
-    assert flight.dumps_suppressed == 3
+    assert [d.trigger for d in flight.dumps] == ["link_down", "link_down"]
+    assert flight.dumps_suppressed == 5
     assert len(flight) == 2
 
 

@@ -343,6 +343,11 @@ def test_every_contracted_kind_is_emitted_by_the_composite_scenario():
         for j in rec.journeys_by_content_tag().values()
         for e in j.events
     }
+    # link.down is not packet-scoped: it reaches the flight rings (where
+    # the link_down trigger sees it), never a packet's journey.
+    kinds |= {
+        e.kind for where in flight.locations() for e in flight.ring(where)
+    }
     assert kinds == journey_event_kinds()
 
     # The dump/summarize pipeline renders this composite without loss.
