@@ -21,6 +21,7 @@ def save_table():
         RESULTS_DIR.mkdir(exist_ok=True)
         text = result.format_table()
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        (RESULTS_DIR / f"{name}.json").write_text(result.to_json())
         print("\n" + text)
 
     return _save

@@ -3,12 +3,18 @@
 ``python -m repro.analysis verify-network`` builds a fat-tree fabric,
 establishes a batch of concurrent mimic channels through the real
 controller stack, and statically verifies every installed rule — the
-acceptance gate for "N concurrent m-flows, zero violations".  With
-``--metrics-out PATH`` the run also attaches a :class:`repro.obs.Observer`
-and writes its JSON metrics snapshot (the artifact CI archives).
+acceptance gate for "N concurrent m-flows, zero violations".  The same
+run also executes the :mod:`~repro.analysis.taint` anonymity-leak pass
+over the source tree (``--code-paths``, baseline-filtered) and merges its
+findings into the report, so the data-plane proof and the code-level leak
+scan share one gate.  With ``--metrics-out PATH`` the run additionally
+attaches a :class:`repro.obs.Observer` and writes its JSON metrics
+snapshot (the artifact CI archives).
 
-``python -m repro.analysis lint`` runs the determinism lint
-(:mod:`repro.analysis.lint`).
+``python -m repro.analysis lint`` runs the full pluggable rule engine
+(:mod:`repro.analysis.lint`): determinism rules, the FlowTable
+encapsulation boundary and the anonymity taint pass, with pragma,
+baseline, SARIF and ``--explain`` support.
 """
 
 from __future__ import annotations
@@ -16,9 +22,11 @@ from __future__ import annotations
 import argparse
 import random
 import sys
+from pathlib import Path
 from typing import Optional
 
 from . import lint as lint_mod
+from .report import Severity, Violation
 from .verifier import verify_network
 
 
@@ -37,6 +45,32 @@ def _cross_pod_pairs(topo, rng: random.Random, count: int) -> list[tuple[str, st
         pa, pb = rng.sample(pods, 2)
         pairs.append((rng.choice(by_pod[pa]), rng.choice(by_pod[pb])))
     return pairs
+
+
+def _code_taint_violations(paths: list[str], baseline_arg: Optional[str]):
+    """Run the endpoint-leak pass over source paths; findings as Violations.
+
+    Returns ``(violations, suppressed_count)``; missing paths are skipped
+    (an installed package has no ``src/`` checkout to scan).
+    """
+    from .lint import _resolve_baseline, run_lint
+    from .rules import get_rule
+
+    present = [p for p in paths if Path(p).exists()]
+    if not present:
+        return [], 0
+    baseline = _resolve_baseline(baseline_arg)
+    run = run_lint(present, baseline=baseline,
+                   rules=[get_rule("endpoint-leak")])
+    violations = [
+        Violation(
+            kind="code-endpoint-leak",
+            message=f"{f.path}:{f.line}: {f.message}",
+            severity=Severity.WARNING,
+        )
+        for f in run.findings
+    ]
+    return violations, len(run.suppressed)
 
 
 def _cmd_verify_network(args: argparse.Namespace) -> int:
@@ -94,6 +128,17 @@ def _cmd_verify_network(args: argparse.Namespace) -> int:
         f"{n_flows} m-flows (seed {args.seed})"
     )
     report = verify_network(net, mic=mic)
+
+    if not args.no_code_taint:
+        taint_violations, suppressed = _code_taint_violations(
+            args.code_paths, args.baseline
+        )
+        report.extend(taint_violations)
+        print(
+            f"code taint pass: {len(taint_violations)} finding(s) over "
+            f"{', '.join(args.code_paths)} ({suppressed} baseline-suppressed)"
+        )
+
     print(report.format())
     if report.errors:
         return 1
@@ -105,7 +150,7 @@ def _cmd_verify_network(args: argparse.Namespace) -> int:
 def main(argv: Optional[list[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="static data-plane verification and determinism lint",
+        description="static data-plane verification and the pluggable lint",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -133,13 +178,32 @@ def main(argv: Optional[list[str]] = None) -> int:
         "--metrics-out", metavar="PATH",
         help="attach an observer and write its JSON metrics snapshot here",
     )
+    verify.add_argument(
+        "--code-paths", nargs="*", default=["src"], metavar="PATH",
+        help="source paths for the code-level taint pass (default: src)",
+    )
+    verify.add_argument(
+        "--baseline", metavar="PATH",
+        help="lint baseline for the taint pass (default: "
+             f"{lint_mod.DEFAULT_BASELINE} when present; 'none' disables)",
+    )
+    verify.add_argument(
+        "--no-code-taint", action="store_true",
+        help="skip the code-level endpoint-leak pass",
+    )
     verify.set_defaults(func=_cmd_verify_network)
 
-    lint = sub.add_parser("lint", help="run the determinism lint")
-    lint.add_argument("paths", nargs="*", default=["src"])
-    lint.set_defaults(func=lambda a: lint_mod.main(a.paths))
+    # `lint` owns its own argparse (baseline/format/explain/...); pass the
+    # remaining argv through untouched.
+    lint = sub.add_parser(
+        "lint", add_help=False,
+        help="run the pluggable rule engine (see `lint --help`)",
+    )
+    lint.set_defaults(func=None)
 
-    args = parser.parse_args(argv)
+    args, rest = parser.parse_known_args(argv)
+    if args.command == "lint":
+        return lint_mod.main(rest)
     return args.func(args)
 
 

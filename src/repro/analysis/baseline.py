@@ -1,0 +1,170 @@
+"""Lint baselines: grandfathered findings, committed and exact.
+
+A baseline lets the lint gate stay *strict for new code* while known,
+justified findings remain in the tree — the benchmark harness reads the
+wall clock on purpose; the verifier CLI prints real addresses because
+printing them is its job.  Each entry pins one finding by
+``(path, rule, context)`` where *context* is the stripped source line, so
+entries survive line-number drift but die with the code they describe:
+
+* a finding matching an entry is **suppressed** (reported as a count);
+* an entry matching no finding is **stale** and fails the run until
+  removed — baselines cannot silently rot (``--update-baseline``
+  rewrites the file, adding new findings and expiring stale entries).
+
+Every entry carries a one-line ``note`` justifying the exemption; the
+committed file is ``lint-baseline.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path, PurePath
+from typing import Iterable, Optional
+
+from .rules import Finding
+
+__all__ = ["BaselineEntry", "Baseline", "normalize_path"]
+
+FORMAT_VERSION = 1
+
+
+def normalize_path(path: str) -> str:
+    """Canonical baseline path: posix, trimmed to start at ``src/``.
+
+    Lint may be invoked from the repo root (``src/repro/...``) or with
+    absolute paths (the test suite does); trimming to the last ``src/``
+    component makes both spell the same baseline key.
+    """
+    posix = PurePath(path).as_posix()
+    parts = posix.split("/")
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "src":
+            return "/".join(parts[i:])
+    return posix
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding: path + rule + the offending line's text."""
+
+    path: str
+    rule: str
+    context: str
+    note: str = ""
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        """The identity tuple findings are matched on."""
+        return (self.path, self.rule, self.context)
+
+    def format(self) -> str:
+        """One-line rendering for stale-entry messages."""
+        return f"{self.path}: [{self.rule}] {self.context!r}"
+
+
+@dataclass
+class Baseline:
+    """The committed set of grandfathered findings."""
+
+    entries: list[BaselineEntry] = field(default_factory=list)
+    path: Optional[str] = None  # where it was loaded from, for messages
+
+    # -- io -------------------------------------------------------------
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read a baseline file (ValueError on a bad document)."""
+        doc = json.loads(Path(path).read_text(encoding="utf-8"))
+        if not isinstance(doc, dict) or doc.get("version") != FORMAT_VERSION:
+            raise ValueError(f"{path}: not a v{FORMAT_VERSION} lint baseline")
+        entries = [
+            BaselineEntry(
+                path=e["path"], rule=e["rule"], context=e["context"],
+                note=e.get("note", ""),
+            )
+            for e in doc.get("entries", [])
+        ]
+        return cls(entries=entries, path=str(path))
+
+    def save(self, path: str | Path) -> None:
+        """Write the baseline, entries sorted for stable diffs."""
+        doc = {
+            "version": FORMAT_VERSION,
+            "entries": [
+                {"path": e.path, "rule": e.rule, "context": e.context,
+                 "note": e.note}
+                for e in sorted(self.entries, key=lambda e: e.key)
+            ],
+        }
+        Path(path).write_text(json.dumps(doc, indent=2) + "\n",
+                              encoding="utf-8")
+
+    # -- matching -------------------------------------------------------
+    @staticmethod
+    def key_for(finding: Finding, line_text: str) -> tuple[str, str, str]:
+        """The baseline key of one finding (its line's stripped text)."""
+        return (normalize_path(finding.path), finding.rule, line_text.strip())
+
+    def apply(
+        self,
+        findings: Iterable[tuple[Finding, str]],
+        scanned: Optional[set[str]] = None,
+    ) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+        """Split findings against the baseline.
+
+        ``findings`` pairs each finding with its source line text.  Returns
+        ``(kept, suppressed, stale_entries)``: findings not in the
+        baseline, findings the baseline grandfathers, and entries that
+        matched nothing (expired — the code they pinned is gone).
+
+        ``scanned`` is the set of normalized paths this run actually
+        linted; entries for files outside it are out of scope, not stale
+        (linting one file must not expire the rest of the baseline).
+        ``None`` means the run covered everything the baseline describes.
+        """
+        by_key = {e.key: e for e in self.entries}
+        matched: set[tuple[str, str, str]] = set()
+        kept: list[Finding] = []
+        suppressed: list[Finding] = []
+        for finding, line_text in findings:
+            key = self.key_for(finding, line_text)
+            if key in by_key:
+                matched.add(key)
+                suppressed.append(finding)
+            else:
+                kept.append(finding)
+        stale = [
+            e for e in self.entries
+            if e.key not in matched
+            and (scanned is None or e.path in scanned)
+        ]
+        return kept, suppressed, stale
+
+    def updated(
+        self,
+        findings: Iterable[tuple[Finding, str]],
+        scanned: Optional[set[str]] = None,
+    ) -> "Baseline":
+        """A new baseline covering exactly the current findings.
+
+        Existing entries keep their notes; new findings get an empty note
+        to be filled in by hand (the justification is the point of the
+        file); stale entries expire.  Entries for files outside
+        ``scanned`` (see :meth:`apply`) are carried over untouched — a
+        partial-tree update must not expire the rest of the baseline.
+        """
+        notes = {e.key: e.note for e in self.entries}
+        fresh: dict[tuple[str, str, str], BaselineEntry] = {}
+        if scanned is not None:
+            for entry in self.entries:
+                if entry.path not in scanned:
+                    fresh[entry.key] = entry
+        for finding, line_text in findings:
+            key = self.key_for(finding, line_text)
+            if key not in fresh:
+                fresh[key] = BaselineEntry(
+                    path=key[0], rule=key[1], context=key[2],
+                    note=notes.get(key, ""),
+                )
+        return Baseline(entries=list(fresh.values()), path=self.path)

@@ -1,21 +1,24 @@
-"""Codebase determinism lint: ``python -m repro.analysis.lint [paths...]``.
+"""The pluggable lint engine: ``python -m repro.analysis lint [paths...]``.
 
-A discrete-event simulation is only trustworthy when one seed gives one
-trace.  Three classes of mistakes silently break that:
+A discrete-event simulation of an anonymity system is only trustworthy
+when two properties hold *by construction*: one seed gives exactly one
+trace, and plaintext endpoint identities never escape the sanctioned
+rewrite boundaries.  The engine runs every rule in the
+:mod:`repro.analysis.rules` registry — determinism rules, the FlowTable
+encapsulation boundary, and the :mod:`~repro.analysis.taint` anonymity
+pass — over the AST of each file (the linted code is never imported).
 
-* **wall-clock** — reading real time (``time.time`` and friends) inside
-  simulation logic couples results to the host machine;
-* **unseeded-random** — drawing from the global ``random`` module (or
-  ``numpy.random``) bypasses the engine's *named* RNG streams
-  (:meth:`repro.sim.engine.Simulator.rng`), so adding one draw anywhere
-  perturbs every stream everywhere;
-* **set-iteration** — iterating a ``set``/``frozenset``/set literal in code
-  that schedules events makes event order depend on hash seeds.
+Suppression is layered, strictest first:
 
-The lint is purely AST-based (no imports of the linted code), resolves
-``import x as y`` / ``from x import y`` aliases, and supports per-line
-opt-outs with a ``# lint: allow(<rule>)`` pragma for the few legitimate
-uses (e.g. wall-clock reads in benchmark harnesses).
+* ``# lint: allow(rule-a, rule-b)`` on the offending line;
+* ``# lint: file-allow(rule)`` anywhere in a file (whole-file opt-out,
+  for e.g. the benchmark package's wall-clock timing);
+* a committed **baseline** (:mod:`repro.analysis.baseline`) of
+  grandfathered findings, each with a one-line justification — stale
+  entries fail the run, so the baseline tracks the code exactly.
+
+``--explain <rule>`` prints a rule's rationale and worked example;
+``--format sarif`` emits SARIF 2.1.0 for code-host ingestion.
 """
 
 from __future__ import annotations
@@ -24,216 +27,345 @@ import argparse
 import ast
 import re
 import sys
-from dataclasses import dataclass
-from pathlib import Path
-from typing import Iterable, Optional
+from pathlib import Path, PurePath
+from typing import Iterable, Optional, Sequence
 
-__all__ = ["RULES", "Finding", "lint_source", "lint_paths", "main"]
+from .baseline import Baseline
+from .reporters import format_text, sarif_text
+from .rules import Finding, LintContext, Rule, all_rules, explain, rule_ids
+from .taint import TaintProject, collect_project
 
-#: rule id → one-line description
-RULES = {
-    "wall-clock": "reads the host wall clock inside simulation code",
-    "unseeded-random": "draws from a global / unseeded RNG stream",
-    "set-iteration": "iterates an unordered set (hash-seed dependent order)",
-}
+__all__ = [
+    "RULES",
+    "Finding",
+    "lint_source",
+    "lint_paths",
+    "LintRun",
+    "run_lint",
+    "main",
+]
 
 _PRAGMA = re.compile(r"#\s*lint:\s*allow\(([\w, -]+)\)")
-
-#: fully-qualified callables that read the wall clock
-_WALL_CLOCK_CALLS = {
-    "time.time",
-    "time.time_ns",
-    "time.monotonic",
-    "time.monotonic_ns",
-    "time.perf_counter",
-    "time.perf_counter_ns",
-    "time.localtime",
-    "time.gmtime",
-    "datetime.datetime.now",
-    "datetime.datetime.utcnow",
-    "datetime.datetime.today",
-    "datetime.date.today",
-}
-
-#: constructors that are fine *when given an explicit seed argument*
-_SEEDABLE_CTORS = {
-    "random.Random",
-    "numpy.random.default_rng",
-    "numpy.random.RandomState",
-    "numpy.random.Generator",
-}
-
-#: always nondeterministic, seed or not
-_FORBIDDEN_RANDOM = {
-    "random.SystemRandom",
-    "os.urandom",
-    "secrets.token_bytes",
-    "secrets.token_hex",
-    "secrets.randbelow",
-    "uuid.uuid4",
-}
+_FILE_PRAGMA = re.compile(r"#\s*lint:\s*file-allow\(([\w, -]+)\)")
 
 
-@dataclass(frozen=True)
-class Finding:
-    """One lint hit."""
-
-    path: str
-    line: int
-    rule: str
-    message: str
-
-    def format(self) -> str:
-        """Compiler-style one-liner: ``path:line: [rule] message``."""
-        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+def _rules_map() -> dict[str, str]:
+    return {rule.id: rule.summary for rule in all_rules()}
 
 
-class _Aliases(ast.NodeVisitor):
-    """Collect ``import``/``from-import`` aliases of one module."""
+class _RulesView(dict):
+    """Lazy ``RULES`` mapping (kept for API compatibility with PR 1)."""
 
-    def __init__(self) -> None:
-        self.modules: dict[str, str] = {}  # local name -> dotted module
-        self.names: dict[str, str] = {}    # local name -> dotted attribute
+    def _fill(self) -> None:
+        if not super().__len__():
+            super().update(_rules_map())
 
-    def visit_Import(self, node: ast.Import) -> None:
-        for alias in node.names:
-            self.modules[alias.asname or alias.name.split(".")[0]] = alias.name
+    def __getitem__(self, key):  # pragma: no cover - trivial delegation
+        self._fill()
+        return super().__getitem__(key)
 
-    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        if node.level or node.module is None:
-            return  # relative imports never reach stdlib RNG/clock modules
-        for alias in node.names:
-            self.names[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    def __iter__(self):
+        self._fill()
+        return super().__iter__()
+
+    def __len__(self):
+        self._fill()
+        return super().__len__()
+
+    def __contains__(self, key):
+        self._fill()
+        return super().__contains__(key)
 
 
-def _resolve(node: ast.AST, aliases: _Aliases) -> Optional[str]:
-    """Dotted name of a call target, through the module's import aliases."""
-    parts: list[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if not isinstance(node, ast.Name):
+#: rule id -> one-line summary (back-compat alias of the registry)
+RULES = _RulesView()
+
+
+def module_name_for(path: str) -> Optional[str]:
+    """Dotted module of a source path, trimmed at the last ``src`` segment.
+
+    ``/repo/src/repro/obs/exporters.py`` → ``repro.obs.exporters``;
+    paths outside an ``src`` layout fall back to any ``repro`` segment;
+    anything else returns None (relative imports stay unresolved).
+    """
+    parts = list(PurePath(path).parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    anchor = None
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "src":
+            anchor = i + 1
+            break
+    if anchor is None:
+        for i, part in enumerate(parts):
+            if part == "repro":
+                anchor = i
+                break
+    if anchor is None or anchor >= len(parts):
         return None
-    base = node.id
-    parts.reverse()
-    if base in aliases.modules:
-        return ".".join([aliases.modules[base], *parts])
-    if base in aliases.names:
-        return ".".join([aliases.names[base], *parts])
-    return ".".join([base, *parts])
+    mod_parts = parts[anchor:]
+    if mod_parts and mod_parts[-1] == "__init__":
+        mod_parts = mod_parts[:-1]
+    return ".".join(mod_parts) or None
 
 
-def _allowed(source_line: str, rule: str) -> bool:
-    m = _PRAGMA.search(source_line)
-    if not m:
-        return False
-    allowed = {part.strip() for part in m.group(1).split(",")}
+def _allowed_rules(pragma_match: Optional[re.Match]) -> set[str]:
+    if not pragma_match:
+        return set()
+    return {part.strip() for part in pragma_match.group(1).split(",")}
+
+
+def _file_allowed(source: str) -> set[str]:
+    """Rules suppressed file-wide via ``# lint: file-allow(...)``."""
+    allowed: set[str] = set()
+    for m in _FILE_PRAGMA.finditer(source):
+        allowed |= _allowed_rules(m)
+    return allowed
+
+
+def _line_allowed(line_text: str, rule: str) -> bool:
+    allowed = _allowed_rules(_PRAGMA.search(line_text))
     return rule in allowed or "all" in allowed
 
 
-def _is_set_expr(node: ast.AST, aliases: _Aliases) -> bool:
-    if isinstance(node, (ast.Set, ast.SetComp)):
-        return True
-    if isinstance(node, ast.Call):
-        name = _resolve(node.func, aliases)
-        return name in ("set", "frozenset")
-    return False
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    module: Optional[str] = None,
+    rules: Optional[Sequence[Rule]] = None,
+    project: Optional[TaintProject] = None,
+) -> list[Finding]:
+    """Run the registry over one module's source; findings line-ordered.
 
-
-def lint_source(source: str, path: str = "<string>") -> list[Finding]:
-    """Lint one module's source text; findings are line-ordered."""
+    Per-line and per-file pragmas are applied here; baseline filtering is
+    the caller's concern (:func:`run_lint`).
+    """
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
-        return [Finding(path, exc.lineno or 0, "wall-clock",
+        return [Finding(path, exc.lineno or 0, "parse-error",
                         f"could not parse: {exc.msg}")]
-    aliases = _Aliases()
-    aliases.visit(tree)
-    lines = source.splitlines()
+    if module is None:
+        module = module_name_for(path)
+    ctx = LintContext(
+        path=path, source=source, tree=tree,
+        lines=source.splitlines(), module=module, project=project,
+    )
+    file_allowed = _file_allowed(source)
     findings: list[Finding] = []
-
-    def emit(node: ast.AST, rule: str, message: str) -> None:
-        line_no = getattr(node, "lineno", 0)
-        text = lines[line_no - 1] if 0 < line_no <= len(lines) else ""
-        if _allowed(text, rule):
-            return
-        findings.append(Finding(path, line_no, rule, message))
-
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Call):
-            name = _resolve(node.func, aliases)
-            if name is None:
+    for rule in (rules if rules is not None else all_rules()):
+        if rule.id in file_allowed or "all" in file_allowed:
+            continue
+        for finding in rule.check(ctx):
+            if _line_allowed(ctx.line_text(finding.line), finding.rule):
                 continue
-            if name in _WALL_CLOCK_CALLS:
-                emit(node, "wall-clock",
-                     f"{name}() couples results to the host clock; use "
-                     "sim.now for simulated time")
-            elif name in _FORBIDDEN_RANDOM:
-                emit(node, "unseeded-random",
-                     f"{name}() is nondeterministic by construction")
-            elif name in _SEEDABLE_CTORS:
-                if not node.args and not node.keywords:
-                    emit(node, "unseeded-random",
-                         f"{name}() without a seed is entropy-seeded; pass "
-                         "an explicit seed or use sim.rng(<stream>)")
-            elif name.startswith("random.") or name.startswith("numpy.random."):
-                emit(node, "unseeded-random",
-                     f"{name}() draws from the shared global stream; use "
-                     "sim.rng(<stream>) so draws stay isolated per purpose")
-        elif isinstance(node, (ast.For, ast.AsyncFor)):
-            if _is_set_expr(node.iter, aliases):
-                emit(node, "set-iteration",
-                     "iterating a set makes order depend on the hash seed; "
-                     "sort it or use dict.fromkeys to dedupe in order")
-        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
-                               ast.DictComp)):
-            for gen in node.generators:
-                if _is_set_expr(gen.iter, aliases):
-                    emit(gen.iter, "set-iteration",
-                         "comprehension iterates a set; order depends on the "
-                         "hash seed — sort it or dedupe with dict.fromkeys")
-    findings.sort(key=lambda f: f.line)
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.line, f.rule))
     return findings
 
 
-def lint_paths(paths: Iterable[str]) -> list[Finding]:
-    """Lint every ``*.py`` file under the given files/directories."""
-    findings: list[Finding] = []
+def _collect_files(paths: Iterable[str]) -> list[Path]:
+    files: list[Path] = []
     for raw in paths:
         root = Path(raw)
         if not root.exists():
             raise FileNotFoundError(f"no such file or directory: {raw}")
-        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
-        for file in files:
-            findings.extend(
-                lint_source(file.read_text(encoding="utf-8"), str(file))
-            )
+        files.extend(sorted(root.rglob("*.py")) if root.is_dir() else [root])
+    return files
+
+
+def lint_paths(
+    paths: Iterable[str],
+    rules: Optional[Sequence[Rule]] = None,
+) -> list[Finding]:
+    """Lint every ``*.py`` file under the given files/directories.
+
+    Runs in two phases: first the ``# taint:`` annotations of *all* files
+    are collected into one :class:`TaintProject` (so a sink defined in
+    ``repro.obs`` is honoured everywhere), then each file is linted.
+    """
+    files = _collect_files(paths)
+    sources = [(str(f), f.read_text(encoding="utf-8")) for f in files]
+    project = collect_project(sources)
+    findings: list[Finding] = []
+    for file_path, text in sources:
+        findings.extend(
+            lint_source(text, file_path, rules=rules, project=project)
+        )
     return findings
 
 
-def main(argv: Optional[list[str]] = None) -> int:
-    """CLI entry point; returns a process exit code (1 when issues found)."""
+class LintRun:
+    """Outcome of one engine run: findings split against the baseline."""
+
+    def __init__(self, findings, suppressed, stale, baseline):
+        self.findings: list[Finding] = findings
+        self.suppressed: list[Finding] = suppressed
+        self.stale = stale
+        self.baseline: Optional[Baseline] = baseline
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing unsuppressed was found and nothing is stale."""
+        return not self.findings and not self.stale
+
+
+def run_lint(
+    paths: Iterable[str],
+    baseline: Optional[Baseline] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> LintRun:
+    """Lint paths and apply a baseline; the engine's programmatic entry."""
+    files = _collect_files(paths)
+    sources = [(str(f), f.read_text(encoding="utf-8")) for f in files]
+    project = collect_project(sources)
+    lines_by_path: dict[str, list[str]] = {
+        p: text.splitlines() for p, text in sources
+    }
+    raw: list[Finding] = []
+    for file_path, text in sources:
+        raw.extend(lint_source(text, file_path, rules=rules, project=project))
+    paired = [
+        (f, lines_by_path[f.path][f.line - 1]
+         if 0 < f.line <= len(lines_by_path.get(f.path, [])) else "")
+        for f in raw
+    ]
+    from .baseline import normalize_path
+
+    scanned = {normalize_path(p) for p, _text in sources}
+    if baseline is None:
+        run = LintRun(raw, [], [], None)
+    else:
+        kept, suppressed, stale = baseline.apply(paired, scanned=scanned)
+        run = LintRun(kept, suppressed, stale, baseline)
+    run._paired = paired  # full finding/line pairs, for --update-baseline
+    run._scanned = scanned  # scope of this run, for partial updates
+    return run
+
+
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def _resolve_baseline(arg: Optional[str]) -> Optional[Baseline]:
+    """Load the baseline: explicit path, or the default when present."""
+    if arg == "none":
+        return None
+    if arg:
+        return Baseline.load(arg)
+    default = Path(DEFAULT_BASELINE)
+    if default.exists():
+        return Baseline.load(default)
+    return None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The `lint` subcommand's argument parser."""
     parser = argparse.ArgumentParser(
-        prog="python -m repro.analysis.lint",
-        description="determinism lint for simulation code",
+        prog="python -m repro.analysis lint",
+        description="pluggable determinism + anonymity lint for the tree",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src"],
         help="files or directories to lint (default: src)",
     )
-    args = parser.parse_args(argv)
+    parser.add_argument(
+        "--baseline", metavar="PATH",
+        help=f"baseline file (default: {DEFAULT_BASELINE} when present; "
+             "'none' disables)",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline to cover exactly the current findings "
+             "(new entries get empty notes; stale entries expire)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "sarif"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output", metavar="PATH",
+        help="write the report here instead of stdout",
+    )
+    parser.add_argument(
+        "--select", metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--explain", metavar="RULE",
+        help="print one rule's rationale and example, then exit",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rule ids and summaries, then exit",
+    )
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """CLI entry point; exit 1 on findings or stale baseline, 2 on usage."""
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id:26s} {rule.severity:8s} {rule.summary}")
+        return 0
+    if args.explain:
+        try:
+            print(explain(args.explain))
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        return 0
+
+    rules: Optional[list[Rule]] = None
+    if args.select:
+        wanted = {r.strip() for r in args.select.split(",") if r.strip()}
+        unknown = wanted - set(rule_ids())
+        if unknown:
+            print(f"error: unknown rule(s): {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+        rules = [r for r in all_rules() if r.id in wanted]
+
     try:
-        findings = lint_paths(args.paths)
+        if (args.update_baseline and args.baseline
+                and args.baseline != "none"
+                and not Path(args.baseline).exists()):
+            baseline = None  # creating a fresh baseline at that path
+        else:
+            baseline = _resolve_baseline(args.baseline)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        run = run_lint(args.paths, baseline=baseline, rules=rules)
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    for finding in findings:
-        print(finding.format())
-    if findings:
-        print(f"{len(findings)} determinism issue(s) found")
-        return 1
-    print("determinism lint: clean")
-    return 0
+
+    if args.update_baseline:
+        target = args.baseline or DEFAULT_BASELINE
+        base = baseline if baseline is not None else Baseline()
+        base.updated(run._paired, scanned=run._scanned).save(target)
+        print(f"baseline written to {target} "
+              f"({len(run.findings)} new, {len(run.stale)} expired)")
+        return 0
+
+    report = (
+        sarif_text(run.findings) if args.format == "sarif"
+        else format_text(run.findings, suppressed=len(run.suppressed),
+                         stale=run.stale)
+    )
+    if args.output:
+        Path(args.output).write_text(report + "\n", encoding="utf-8")
+        if args.format == "sarif":
+            # keep the terminal summary even when SARIF goes to a file
+            print(format_text(run.findings, suppressed=len(run.suppressed),
+                              stale=run.stale))
+    else:
+        print(report)
+    return 0 if run.ok else 1
 
 
 if __name__ == "__main__":

@@ -46,6 +46,7 @@ KINDS = (
     "decoy-to-receiver",    # … and that host is the real receiver (or its pod)
     "decoy-unterminated",   # decoy replica dies by table miss, not an explicit drop
     "registry-mismatch",    # installed MIC rule unknown to the CollisionRegistry
+    "code-endpoint-leak",   # source-level taint: endpoint identity reaches a sink
 )
 
 

@@ -8,8 +8,12 @@ Usage::
     python -m repro.bench --list
 
 Each experiment prints the paper-figure data table to stdout; pass
-``--save DIR`` to also write the tables as text files.
+``--save DIR`` to also write the tables as text files (and, for figures,
+machine-readable JSON).
 """
+
+# The harness times real sweeps for progress reporting; sim results stay
+# deterministic.  # lint: file-allow(wall-clock)
 
 from __future__ import annotations
 
@@ -81,24 +85,25 @@ def main(argv: list[str] | None = None) -> int:
         save_dir.mkdir(parents=True, exist_ok=True)
 
     results = []
-    t_start = time.perf_counter()  # lint: allow(wall-clock)
+    t_start = time.perf_counter()
     for key in chosen:
         title, fn = EXPERIMENTS[key]
         print(f"== {title} ==")
-        t0 = time.perf_counter()  # lint: allow(wall-clock)
+        t0 = time.perf_counter()
         result = fn(args.quick)
         results.append(result)
         table = result.format_table()
         print(table)
-        print(f"   ({time.perf_counter() - t0:.1f}s)\n")  # lint: allow(wall-clock)
+        print(f"   ({time.perf_counter() - t0:.1f}s)\n")
         if save_dir:
             (save_dir / f"{key}.txt").write_text(table + "\n")
+            (save_dir / f"{key}.json").write_text(result.to_json())
     if args.report:
         from .report import render_report
 
         notes = "_Reduced sweeps (--quick)._" if args.quick else None
         pathlib.Path(args.report).write_text(
-            render_report(results, elapsed_s=time.perf_counter() - t_start,  # lint: allow(wall-clock)
+            render_report(results, elapsed_s=time.perf_counter() - t_start,
                           notes=notes)
         )
         print(f"report written to {args.report}")

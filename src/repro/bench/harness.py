@@ -7,6 +7,7 @@ figure plots, so benches and EXPERIMENTS.md share one source of truth.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 __all__ = ["FigureResult", "run_process", "fmt_si", "setup_from_spans"]
@@ -102,6 +103,24 @@ class FigureResult:
             if i == 0:
                 lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
         return "\n".join(lines)
+
+    def to_json(self) -> str:
+        """Machine-readable rendering with stable key order.
+
+        The CI determinism matrix diffs this output byte-for-byte across
+        interpreter hash seeds, so it must be a pure function of the data:
+        sorted keys, fixed indentation, no timestamps.
+        """
+        payload = {
+            "figure": self.figure,
+            "title": self.title,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "unit": self.unit,
+            "series": {name: [[x, y] for x, y in points]
+                       for name, points in self.series.items()},
+        }
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return self.format_table()

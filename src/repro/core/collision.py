@@ -176,6 +176,10 @@ class CollisionRegistry:
         """Total registered keys across all switches."""
         return sum(len(t) for t in self._keys.values())
 
+    def owners(self) -> set[str]:
+        """Every owner currently holding at least one key (leak audits)."""
+        return {o for table in self._keys.values() for o in table.values()}
+
 
 class CollisionError(RuntimeError):
     """Two flows attempted to install the same match key on one switch."""

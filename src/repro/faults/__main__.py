@@ -20,17 +20,31 @@ from .scorecard import format_scorecard, scorecard_json
 
 
 def _run(args: argparse.Namespace):
+    sanitizer = None
+    if getattr(args, "sanitize", False):
+        from ..analysis.sanitizer import SimSanitizer
+
+        sanitizer = SimSanitizer()
     card, dep = run_chaos(
         seed=args.seed,
         n_channels=args.channels,
         probe_period_s=args.probe_period,
         detection_latency_s=args.detection_latency,
+        sanitizer=sanitizer,
     )
-    return card, dep
+    return card, dep, sanitizer
+
+
+def _sanitizer_status(sanitizer) -> int:
+    """Print the sanitizer report (to stderr); exit code contribution."""
+    if sanitizer is None:
+        return 0
+    print(sanitizer.report(), file=sys.stderr)
+    return 1 if sanitizer.findings else 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    card, dep = _run(args)
+    card, dep, sanitizer = _run(args)
     if args.timeline:
         print("fault timeline:")
         for at_s, desc in [(e["at_s"], e["event"])
@@ -38,11 +52,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"  {at_s:8.3f}s  {desc}")
         print()
     print(format_scorecard(card))
-    return 0 if card["repair"]["parked_remaining"] == 0 else 1
+    rc = 0 if card["repair"]["parked_remaining"] == 0 else 1
+    return max(rc, _sanitizer_status(sanitizer))
 
 
 def _cmd_scorecard(args: argparse.Namespace) -> int:
-    card, _dep = _run(args)
+    card, _dep, sanitizer = _run(args)
     text = scorecard_json(card)
     if args.output:
         with open(args.output, "w") as fh:
@@ -50,7 +65,7 @@ def _cmd_scorecard(args: argparse.Namespace) -> int:
         print(f"wrote {args.output}", file=sys.stderr)
     else:
         print(text)
-    return 0
+    return _sanitizer_status(sanitizer)
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
@@ -61,6 +76,9 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                    help="seconds between availability probes")
     p.add_argument("--detection-latency", type=float, default=0.002,
                    help="failure-detection latency in seconds")
+    p.add_argument("--sanitize", action="store_true",
+                   help="attach the race/determinism sanitizer; its report "
+                        "goes to stderr and findings fail the run")
 
 
 def main(argv=None) -> int:

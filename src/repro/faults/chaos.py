@@ -22,7 +22,10 @@ same scorecard byte for byte.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analysis.sanitizer import SimSanitizer
 
 from ..attacks import ObservationPoint, correlate_with_truth
 from ..core.client import MicDatagramServer
@@ -83,6 +86,7 @@ def run_chaos(
     detection_latency_s: float = 0.002,
     max_settle_s: float = 30.0,
     schedule: Optional[FaultSchedule] = None,
+    sanitizer: Optional["SimSanitizer"] = None,
 ) -> tuple[dict, MicDeployment]:
     """Run one seeded chaos scenario; returns ``(scorecard, deployment)``.
 
@@ -90,6 +94,12 @@ def run_chaos(
     established channels.  A supplied schedule must not be attached yet —
     its absolute times should assume faults start a few seconds into the
     run (establishment takes ~1 simulated second).
+
+    ``sanitizer`` (a :class:`repro.analysis.sanitizer.SimSanitizer`) is
+    attached to the simulator for the whole scenario and its teardown
+    checks run after settling; findings accumulate on the caller's
+    instance and the scorecard itself is untouched, so a sanitized run
+    must produce a byte-identical card.
     """
     if n_channels < 1 or n_channels > 8:
         raise ValueError(f"n_channels {n_channels} out of [1, 8]")
@@ -103,6 +113,9 @@ def run_chaos(
         controller_kwargs={"detection_latency_s": detection_latency_s},
     )
     sim = dep.sim
+    if sanitizer is not None:
+        sanitizer.sim = sim
+        sim._sanitizer = sanitizer
 
     # -- establish n datagram channels on cross-pod host pairs -------------
     pairs = [(f"h{i}", f"h{17 - i}", 7000 + i) for i in range(1, n_channels + 1)]
@@ -183,4 +196,9 @@ def run_chaos(
     verification = dep.mic.verify()
     card = build_scorecard(dep, probes, schedule,
                            attacker=attacker, verification=verification)
+    if sanitizer is not None:
+        # Probe sockets stay open by design, so skip the undrained-store
+        # scan here; the registry/cookie audits must still come out clean.
+        sanitizer.check_teardown(mic=dep.mic, stores=False)
+        sanitizer.detach()
     return card, dep

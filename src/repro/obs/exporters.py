@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import json
 import math
-from typing import Any
+from typing import Any, Optional
 
 from .contract import _BY_NAME
 from .metrics import MetricsSnapshot
@@ -39,7 +39,7 @@ def _labels_dict(key: tuple[tuple[str, str], ...]) -> dict[str, str]:
     return {k: v for k, v in key}
 
 
-def to_json(snap: MetricsSnapshot, indent: int = 2) -> str:
+def to_json(snap: MetricsSnapshot, indent: int = 2) -> str:  # taint: sink
     """The snapshot as one JSON document."""
     doc: dict[str, Any] = {
         "sim_time_s": snap.sim_time_s,
@@ -65,14 +65,14 @@ def to_json(snap: MetricsSnapshot, indent: int = 2) -> str:
     return json.dumps(doc, indent=indent, sort_keys=False)
 
 
-def write_json(snap: MetricsSnapshot, path: str) -> None:
+def write_json(snap: MetricsSnapshot, path: str) -> None:  # taint: sink
     """Write :func:`to_json` output to a file."""
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(to_json(snap))
         fh.write("\n")
 
 
-def to_csv(snap: MetricsSnapshot) -> str:
+def to_csv(snap: MetricsSnapshot) -> str:  # taint: sink
     """Flat CSV rows: ``kind,name,labels,field,value``."""
     lines = ["kind,name,labels,field,value"]
 
@@ -98,15 +98,17 @@ def _prom_name(name: str) -> str:
     return name.replace(".", "_").replace("-", "_")
 
 
-def _prom_labels(key: tuple[tuple[str, str], ...], extra: dict[str, str] = {}) -> str:
-    items = list(key) + list(extra.items())
+def _prom_labels(
+    key: tuple[tuple[str, str], ...], extra: Optional[dict[str, str]] = None
+) -> str:
+    items = list(key) + list(extra.items() if extra else [])
     if not items:
         return ""
     body = ",".join(f'{k}="{v}"' for k, v in items)
     return "{" + body + "}"
 
 
-def to_prometheus(snap: MetricsSnapshot, histogram_style: str = "summary") -> str:
+def to_prometheus(snap: MetricsSnapshot, histogram_style: str = "summary") -> str:  # taint: sink
     """The snapshot in the Prometheus text exposition format.
 
     ``histogram_style`` selects how distributions export: ``"summary"``

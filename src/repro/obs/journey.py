@@ -644,7 +644,7 @@ class JourneyRecorder:
 # ---------------------------------------------------------------------------
 
 
-def journeys_to_json(
+def journeys_to_json(  # taint: sink
     recorder: JourneyRecorder, flight: Optional["FlightRecorder"] = None
 ) -> dict[str, Any]:
     """The JSON document ``python -m repro.obs journey --dump`` writes.

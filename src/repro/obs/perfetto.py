@@ -78,7 +78,7 @@ class _Tracks:
         return tid
 
 
-def to_perfetto(source: Union[JourneyRecorder, dict[str, Any]]) -> dict[str, Any]:
+def to_perfetto(source: Union[JourneyRecorder, dict[str, Any]]) -> dict[str, Any]:  # taint: sink
     """Build the trace-event document from a recorder or a journey dump."""
     doc = _doc_of(source)
     events: list[dict[str, Any]] = []
@@ -166,7 +166,7 @@ def to_perfetto(source: Union[JourneyRecorder, dict[str, Any]]) -> dict[str, Any
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
-def write_perfetto(
+def write_perfetto(  # taint: sink
     source: Union[JourneyRecorder, dict[str, Any]], path: str
 ) -> None:
     """Write the trace-event JSON to ``path``."""

@@ -295,6 +295,9 @@ class Simulator:
         self._now = 0.0
         self.seed = seed
         self._rng_streams: dict[str, Any] = {}
+        #: opt-in hazard detector (repro.analysis.sanitizer); None = off,
+        #: and every hook below is a statically-dead branch.
+        self._sanitizer: Optional[Any] = None
 
     # ------------------------------------------------------------------
     @property
@@ -308,6 +311,8 @@ class Simulator:
         if event._scheduled:
             raise SimulationError("event already scheduled")
         event._scheduled = True
+        if self._sanitizer is not None:
+            self._sanitizer._on_schedule(event, delay)
         heapq.heappush(self._heap, (self._now + delay, next(self._counter), event))
 
     # -- public scheduling API -----------------------------------------
@@ -352,6 +357,8 @@ class Simulator:
         import random as _random
         import zlib
 
+        if self._sanitizer is not None:
+            self._sanitizer._note_rng(stream)
         if stream not in self._rng_streams:
             mix = zlib.crc32(stream.encode()) ^ (self.seed * 0x9E3779B1 & 0xFFFFFFFF)
             self._rng_streams[stream] = _random.Random(mix)
@@ -364,7 +371,15 @@ class Simulator:
             raise SimulationError("no more events")
         when, _seq, event = heapq.heappop(self._heap)
         self._now = when
-        event._run_callbacks()
+        san = self._sanitizer
+        if san is None:
+            event._run_callbacks()
+        else:
+            san._on_step(when, event)
+            try:
+                event._run_callbacks()
+            finally:
+                san._on_step_end()
         return when
 
     def peek(self) -> float:

@@ -50,6 +50,8 @@ class Store:
         """Deposit an item, waking the oldest waiting getter if any."""
         if self.is_full:
             raise SimulationError("store is full")
+        if self.sim._sanitizer is not None:
+            self.sim._sanitizer.touch(self, "append")
         # Hand the item straight to a waiter when one exists: FIFO fairness.
         while self._getters:
             getter = self._getters.popleft()
@@ -60,6 +62,8 @@ class Store:
 
     def get(self) -> Event:
         """An event that fires with the next item (immediately if queued)."""
+        if self.sim._sanitizer is not None:
+            self.sim._sanitizer.touch(self, "take")
         ev = Event(self.sim)
         if self._items:
             ev.succeed(self._items.popleft())
@@ -99,6 +103,8 @@ class Resource:
 
     def request(self) -> Event:
         """An event that fires once a slot is acquired."""
+        if self.sim._sanitizer is not None:
+            self.sim._sanitizer.touch(self, "write")
         ev = Event(self.sim)
         if self._in_use < self.capacity:
             self._in_use += 1
@@ -111,6 +117,8 @@ class Resource:
         """Free one slot, waking the oldest waiter."""
         if self._in_use <= 0:
             raise SimulationError("release without matching request")
+        if self.sim._sanitizer is not None:
+            self.sim._sanitizer.touch(self, "write")
         while self._waiters:
             waiter = self._waiters.popleft()
             if not waiter.triggered:

@@ -45,7 +45,7 @@ class TraceLog:
         """True if records of this category are kept."""
         return self.categories is None or category in self.categories
 
-    def emit(self, time: float, category: str, node: str, **detail: Any) -> None:
+    def emit(self, time: float, category: str, node: str, **detail: Any) -> None:  # taint: sink
         """Record one occurrence (and notify subscribers)."""
         if not self.enabled(category):
             return

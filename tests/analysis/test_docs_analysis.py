@@ -1,0 +1,66 @@
+"""docs/analysis.md is enforced both ways against the rule registry.
+
+The rule table and the per-rule catalog are embedded between markers and
+must equal the registry renderings exactly: a rule exists in the doc iff
+it exists in code, with the same severity, rationale and example.
+"""
+
+from pathlib import Path
+
+from repro.analysis.rules import (
+    all_rules,
+    format_rule_catalog,
+    format_rule_table,
+    rule_ids,
+)
+
+DOC = Path(__file__).resolve().parents[2] / "docs" / "analysis.md"
+
+
+def _embedded(begin: str, end: str) -> str:
+    text = DOC.read_text(encoding="utf-8")
+    assert begin in text and end in text, f"{begin} ... {end} markers missing"
+    inner = text.split(begin, 1)[1].split(end, 1)[0]
+    return inner.split("-->", 1)[1].strip()
+
+
+def test_rule_table_matches_registry_exactly():
+    assert _embedded("<!-- rule-table:begin",
+                     "<!-- rule-table:end") == format_rule_table(), (
+        "docs/analysis.md rule table is stale — regenerate from "
+        "repro.analysis.rules.format_rule_table() and paste between markers"
+    )
+
+
+def test_rule_catalog_matches_registry_exactly():
+    assert _embedded("<!-- rule-catalog:begin",
+                     "<!-- rule-catalog:end") == format_rule_catalog(), (
+        "docs/analysis.md rule catalog is stale — regenerate from "
+        "repro.analysis.rules.format_rule_catalog() and paste between markers"
+    )
+
+
+def test_catalog_covers_every_rule_with_severity_and_example():
+    catalog = format_rule_catalog()
+    for rule in all_rules():
+        assert f"### `{rule.id}` ({rule.severity})" in catalog
+        assert "```python" in catalog
+
+
+def test_doc_mentions_every_sanitizer_finding_kind():
+    from repro.analysis.sanitizer import FINDING_KINDS
+
+    text = DOC.read_text(encoding="utf-8")
+    for kind in FINDING_KINDS:
+        assert f"`{kind}`" in text, f"sanitizer kind {kind} undocumented"
+
+
+def test_doc_linked_from_index_and_readme():
+    root = DOC.parents[1]
+    assert "analysis.md" in (root / "docs" / "index.md").read_text()
+    assert "docs/analysis.md" in (root / "README.md").read_text()
+
+
+def test_every_rule_id_unique():
+    ids = rule_ids()
+    assert len(ids) == len(set(ids))

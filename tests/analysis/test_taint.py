@@ -1,0 +1,168 @@
+"""Taint-pass tests: scripted leak and sanctioned-flow fixtures.
+
+The fixtures model exactly the flows MIC cares about: a plaintext
+endpoint identity (``packet.ip_src`` and friends, MAGA pre-images)
+escaping into a log/export/exception sink is the anonymity violation;
+the same value routed through a sanctioned boundary (``content_tag``,
+the MAGA encode, ``crc32``) is the sanctioned design.
+"""
+
+import textwrap
+
+from repro.analysis.lint import lint_paths, lint_source
+from repro.analysis.rules import get_rule
+from repro.analysis.taint import collect_project
+
+RULES = [get_rule("endpoint-leak")]
+
+
+def leaks_of(source, path="src/repro/fixture.py", project=None):
+    return [
+        f for f in lint_source(textwrap.dedent(source), path=path,
+                               rules=RULES, project=project)
+        if f.rule == "endpoint-leak"
+    ]
+
+
+class TestKnownLeaks:
+    def test_fstring_of_src_into_log(self):
+        findings = leaks_of("""
+            def handle(self, packet, log):
+                log.info(f"got packet from {packet.ip_src}")
+        """)
+        assert len(findings) == 1
+        assert "ip_src" in findings[0].message
+
+    def test_direct_print_of_dst(self):
+        assert leaks_of("""
+            def debug(packet):
+                print("to", packet.ip_dst)
+        """)
+
+    def test_tainted_variable_chain(self):
+        assert leaks_of("""
+            def handle(packet):
+                who = packet.ip_src
+                banner = "from " + str(who)
+                print(banner)
+        """)
+
+    def test_exception_message_leak(self):
+        assert leaks_of("""
+            def route(packet):
+                raise ValueError(f"no route for {packet.ip_dst}")
+        """)
+
+    def test_preimage_into_json(self):
+        assert leaks_of("""
+            import json
+            def dump(preimage):
+                return json.dumps({"p": preimage})
+        """)
+
+    def test_loop_carried_taint_found_on_second_pass(self):
+        assert leaks_of("""
+            def pump(packets, log):
+                last = None
+                for p in packets:
+                    if last is not None:
+                        log.warning("prev was %s", last)
+                    last = p.ip_src
+        """)
+
+
+class TestSanctionedFlows:
+    def test_content_tag_boundary_launders(self):
+        assert leaks_of("""
+            def handle(packet, log):
+                log.info("tag=%s", content_tag(packet.ip_src, packet.ip_dst))
+        """) == []
+
+    def test_crc32_hash_is_sanctioned(self):
+        assert leaks_of("""
+            from zlib import crc32
+            def handle(packet):
+                print(crc32(str(packet.ip_src).encode()))
+        """) == []
+
+    def test_maga_encode_is_sanctioned(self):
+        assert leaks_of("""
+            def handle(packet, maga):
+                print("m-addr", maga.solve(packet.ip_src, packet.ip_dst))
+        """) == []
+
+    def test_len_of_identity_is_harmless(self):
+        assert leaks_of("""
+            def handle(packet):
+                print(len(str(packet.ip_src)))
+        """) == []
+
+    def test_untainted_values_never_flag(self):
+        assert leaks_of("""
+            def handle(packet, log):
+                log.info("ttl=%d size=%d", packet.ttl, packet.size)
+        """) == []
+
+
+class TestProjectAnnotations:
+    def test_annotated_sink_collected_and_enforced(self):
+        sink_mod = textwrap.dedent("""
+            def ship(payload):  # taint: sink
+                pass
+        """)
+        user_mod = textwrap.dedent("""
+            from repro.out import ship
+            def handle(packet):
+                ship(packet.ip_dst)
+        """)
+        project = collect_project([
+            ("src/repro/out.py", sink_mod),
+            ("src/repro/user.py", user_mod),
+        ])
+        assert "ship" in project.sinks
+        findings = leaks_of(user_mod, path="src/repro/user.py",
+                            project=project)
+        assert len(findings) == 1
+        assert "ship" in findings[0].message
+
+    def test_annotated_boundary_launders(self):
+        boundary_mod = textwrap.dedent("""
+            def scrub(value):  # taint: boundary
+                return "<redacted>"
+        """)
+        user_mod = textwrap.dedent("""
+            from repro.safe import scrub
+            def handle(packet):
+                print(scrub(packet.ip_src))
+        """)
+        project = collect_project([
+            ("src/repro/safe.py", boundary_mod),
+            ("src/repro/user.py", user_mod),
+        ])
+        assert leaks_of(user_mod, path="src/repro/user.py",
+                        project=project) == []
+
+    def test_annotation_on_line_above_def(self):
+        mod = textwrap.dedent("""
+            # taint: sink
+            def export(doc):
+                pass
+        """)
+        project = collect_project([("src/repro/x.py", mod)])
+        assert "export" in project.sinks
+
+    def test_lint_paths_collects_annotations_across_files(self, tmp_path):
+        (tmp_path / "out.py").write_text(
+            "def ship(payload):  # taint: sink\n    pass\n")
+        (tmp_path / "user.py").write_text(
+            "from out import ship\n"
+            "def f(packet):\n"
+            "    ship(packet.ip_src)\n")
+        findings = [f for f in lint_paths([str(tmp_path)], rules=RULES)]
+        assert [f.rule for f in findings] == ["endpoint-leak"]
+
+    def test_pragma_silences_known_leak(self):
+        assert leaks_of("""
+            def handle(packet, log):
+                log.info(f"from {packet.ip_src}")  # lint: allow(endpoint-leak)
+        """) == []
