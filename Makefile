@@ -4,7 +4,7 @@ PYTHON ?= python
 # Same invocation the CI tier-1 gate uses (src/ layout, no install needed).
 PYPATH = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-verbose lint verify obs-demo journey-demo chaos-demo bench bench-quick figures quick-figures examples clean
+.PHONY: install test test-verbose lint verify obs-demo journey-demo chaos-demo bench bench-quick bench-scale figures quick-figures examples clean
 
 install:
 	pip install -e . --no-build-isolation || pip install -e .
@@ -65,6 +65,15 @@ bench-quick:
 	BENCH_QUICK=1 $(PYPATH) $(PYTHON) -m pytest \
 		benchmarks/bench_lookup.py benchmarks/bench_scalability.py -q \
 		--benchmark-json=benchmarks/results/bench_quick.json
+
+# Hybrid-mode scale run: 10k concurrent channels on fat_tree(16), emitting
+# BENCH_7.json + an Observer snapshot under benchmarks/results/.
+bench-scale:
+	@mkdir -p benchmarks/results
+	$(PYPATH) $(PYTHON) -m pytest benchmarks/bench_hybrid_scale.py -q \
+		--benchmark-only
+	$(PYPATH) $(PYTHON) -m repro.obs summarize \
+		benchmarks/results/hybrid_scale_snapshot.json
 
 figures:
 	$(PYPATH) $(PYTHON) -m repro.bench --save benchmarks/results

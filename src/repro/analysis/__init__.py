@@ -13,6 +13,7 @@ CLI: ``python -m repro.analysis verify-network`` / ``python -m
 repro.analysis lint``; see :doc:`docs/verification.md`.
 """
 
+from .docs_check import DocsIssue, check_code_paths, check_docs, check_internal_links
 from .lint import Finding, lint_paths, lint_source
 from .report import (
     Severity,
@@ -32,12 +33,16 @@ from .verifier import (
 
 __all__ = [
     "ANY",
+    "DocsIssue",
     "Finding",
     "Severity",
     "SymbolicHeader",
     "VerificationError",
     "VerificationReport",
     "Violation",
+    "check_code_paths",
+    "check_docs",
+    "check_internal_links",
     "lint_paths",
     "lint_source",
     "match_key",

@@ -147,6 +147,26 @@ def _cmd_verify_network(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_docs_check(args: argparse.Namespace) -> int:
+    from .docs_check import check_docs
+
+    docs_dir = Path(args.docs_dir)
+    if not docs_dir.is_dir():
+        print(f"docs directory not found: {docs_dir}", file=sys.stderr)
+        return 2
+    issues = check_docs(docs_dir)
+    n_files = len(list(docs_dir.glob("*.md")))
+    if issues:
+        for issue in issues:
+            print(issue.format(), file=sys.stderr)
+        print(f"docs-check: {len(issues)} broken reference(s) across "
+              f"{n_files} page(s)", file=sys.stderr)
+        return 1
+    print(f"docs-check: {n_files} page(s), all code paths import, "
+          "all internal links and anchors resolve")
+    return 0
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
@@ -200,6 +220,17 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="run the pluggable rule engine (see `lint --help`)",
     )
     lint.set_defaults(func=None)
+
+    docs = sub.add_parser(
+        "docs-check",
+        help="check docs/*.md: repro.* code paths import, internal links "
+             "and #anchors resolve",
+    )
+    docs.add_argument(
+        "--docs-dir", default="docs", metavar="DIR",
+        help="directory of markdown pages to check (default: docs)",
+    )
+    docs.set_defaults(func=_cmd_docs_check)
 
     args, rest = parser.parse_known_args(argv)
     if args.command == "lint":

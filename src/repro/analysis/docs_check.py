@@ -1,0 +1,158 @@
+"""Docs cross-reference checker: the prose must not rot.
+
+``docs/*.md`` (and the top-level references they link) name code paths
+(``repro.net.hybrid.HybridEngine``) and link each other with relative
+markdown links and ``#anchors``.  Both kinds of reference decay silently
+as the code grows, so this module makes them checkable:
+
+* **code paths** — every dotted ``repro.*`` reference must import: the
+  longest importable module prefix is imported and the remaining
+  attributes are resolved on it (``repro.obs.journey.format_hop_table``
+  → import ``repro.obs.journey``, getattr ``format_hop_table``);
+* **internal links** — every relative markdown link must point at an
+  existing file, and a ``#fragment`` must match a heading anchor in the
+  target (GitHub-style slugification).
+
+``python -m repro.analysis docs-check`` runs both passes and exits
+non-zero on any broken reference — the lint job's docs gate.
+"""
+
+from __future__ import annotations
+
+import importlib
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "DocsIssue",
+    "check_code_paths",
+    "check_internal_links",
+    "check_docs",
+    "heading_anchors",
+]
+
+# Dotted repro.* references in prose or backticks.  A trailing ``(...)`` or
+# markup character is not part of the path.
+_CODE_PATH = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")
+
+# Markdown inline links: [text](target).  Images and reference-style links
+# are out of scope (the docs use neither).
+_MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*$", re.MULTILINE)
+
+# Fenced code blocks are stripped before link checking: a ``[h1, s1]`` path
+# literal or example snippet is not a markdown link.  Code-path checking
+# keeps them — snippets that import rotten modules are exactly the rot this
+# pass exists to catch.
+_FENCE = re.compile(r"^```.*?^```", re.MULTILINE | re.DOTALL)
+
+
+@dataclass(frozen=True)
+class DocsIssue:
+    """One broken reference: where it is, what it points at, why it broke."""
+
+    doc: str
+    kind: str  # "code-path" | "link" | "anchor"
+    ref: str
+    detail: str
+
+    def format(self) -> str:
+        """One human-readable line: doc, kind, reference, reason."""
+        return f"{self.doc}: [{self.kind}] {self.ref} — {self.detail}"
+
+
+def _slugify(heading: str) -> str:
+    """GitHub-style anchor slug for a markdown heading."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # strip code spans
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links → text
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_anchors(md_text: str) -> set[str]:
+    """Every anchor the file's headings export (GitHub slug rules)."""
+    return {_slugify(m.group(2)) for m in _HEADING.finditer(_FENCE.sub("", md_text))}
+
+
+def _resolve_code_path(path: str) -> str | None:
+    """None if ``path`` imports/resolves, else a reason string."""
+    parts = path.split(".")
+    module, idx = None, 0
+    for i in range(len(parts), 0, -1):
+        candidate = ".".join(parts[:i])
+        try:
+            module = importlib.import_module(candidate)
+            idx = i
+            break
+        except ImportError:
+            continue
+        except Exception as exc:  # import-time crash is also rot
+            return f"importing {candidate} raised {type(exc).__name__}: {exc}"
+    if module is None:
+        return "no importable module prefix"
+    obj = module
+    for attr in parts[idx:]:
+        try:
+            obj = getattr(obj, attr)
+        except AttributeError:
+            return f"{'.'.join(parts[:idx])} has no attribute {attr!r}"
+    return None
+
+
+def check_code_paths(doc: Path) -> list[DocsIssue]:
+    """Every dotted ``repro.*`` reference in the doc must import."""
+    issues = []
+    seen: set[str] = set()
+    for match in _CODE_PATH.finditer(doc.read_text(encoding="utf-8")):
+        ref = match.group(0)
+        if ref in seen:
+            continue
+        seen.add(ref)
+        detail = _resolve_code_path(ref)
+        if detail is not None:
+            issues.append(DocsIssue(doc.name, "code-path", ref, detail))
+    return issues
+
+
+def check_internal_links(doc: Path) -> list[DocsIssue]:
+    """Relative links must hit existing files; fragments, real anchors."""
+    issues = []
+    text = _FENCE.sub("", doc.read_text(encoding="utf-8"))
+    for match in _MD_LINK.finditer(text):
+        target = match.group(1)
+        if "://" in target or target.startswith("mailto:"):
+            continue  # external links are out of scope (no network in CI)
+        path_part, _, fragment = target.partition("#")
+        dest = doc if not path_part else (doc.parent / path_part).resolve()
+        if not dest.exists():
+            issues.append(
+                DocsIssue(doc.name, "link", target, f"{path_part} does not exist")
+            )
+            continue
+        if fragment and dest.suffix == ".md":
+            anchors = heading_anchors(dest.read_text(encoding="utf-8"))
+            if fragment not in anchors:
+                issues.append(
+                    DocsIssue(
+                        doc.name, "anchor", target,
+                        f"no heading in {dest.name} slugs to #{fragment}",
+                    )
+                )
+    return issues
+
+
+def check_docs(docs_dir: Path, extra: tuple[str, ...] = ()) -> list[DocsIssue]:
+    """Run both passes over ``docs/*.md`` plus any extra files."""
+    files = sorted(docs_dir.glob("*.md"))
+    files += [docs_dir / name for name in extra]
+    issues: list[DocsIssue] = []
+    for doc in files:
+        if not doc.exists():
+            issues.append(DocsIssue(doc.name, "link", str(doc), "file missing"))
+            continue
+        issues.extend(check_code_paths(doc))
+        issues.extend(check_internal_links(doc))
+    return issues

@@ -12,12 +12,15 @@ from .experiments import (
     scalability_vs_fabric,
 )
 from .harness import FigureResult, fmt_si, run_process
+from .hybrid_scenario import HybridScenarioResult, fat_tree_path, run_hybrid_scenario
 from .testbed import Testbed
 
 __all__ = [
     "FigureResult",
+    "HybridScenarioResult",
     "Session",
     "Testbed",
+    "fat_tree_path",
     "fig7_route_setup",
     "fig8_latency",
     "fig9a_throughput_vs_path_length",
@@ -29,6 +32,7 @@ __all__ = [
     "open_ssl",
     "open_tcp",
     "open_tor",
+    "run_hybrid_scenario",
     "run_process",
     "scalability_routing_calculation",
     "scalability_vs_fabric",

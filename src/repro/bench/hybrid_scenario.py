@@ -1,0 +1,211 @@
+"""Large-fabric hybrid scenario driver (the scale benchmark's engine room).
+
+Controller-driven wiring is quadratic in hosts (``wire_all_pairs`` on
+fat_tree(16) would install rules for ~1M pairs), so this driver computes
+fat-tree shortest paths *arithmetically* — O(path length) per pair, with a
+deterministic hash-based ECMP choice — and installs static flow entries
+only for the sampled packet-level subset.  The fluid bulk never touches a
+flow table: its path is handed straight to the hybrid engine.
+
+``run_hybrid_scenario`` is what ``benchmarks/bench_hybrid_scale.py`` and
+the scale experiments drive: N concurrent channels over fat_tree(k), a
+hash-sampled packet subset riding real TCP with peer reservations, and
+everything else advancing as fluid rates.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..net import FlowEntry, HybridEngine, Match, Network, Output, fat_tree
+from ..obs import Observer
+from ..transport import TcpStack
+from ..workloads.duplex import as_duplex
+from ..workloads.iperf import measure_transfer
+
+__all__ = ["HybridScenarioResult", "fat_tree_path", "run_hybrid_scenario"]
+
+
+def _ecmp_pick(n: int, *parts: object) -> int:
+    """Deterministic, seed-free choice in [0, n): hash of the identifiers."""
+    key = ":".join(str(p) for p in parts).encode("utf-8")
+    return zlib.crc32(key) % n
+
+
+def fat_tree_path(k: int, src: str, dst: str, salt: object = 0) -> list[str]:
+    """Arithmetic shortest path between two hosts of ``fat_tree(k)``.
+
+    Mirrors the naming scheme of :func:`repro.net.topology.fat_tree`
+    (hosts ``h1..h{k^3/4}`` numbered pod-by-pod, edge switches ``p{pod}e{i}``,
+    aggregation ``p{pod}a{i}``, cores ``c{1..(k/2)^2}``).  Among the equal-cost
+    candidates the aggregation and core hops are picked by a deterministic
+    hash of (src, dst, salt) — same inputs, same path, any process.
+    """
+    half = k // 2
+    per_pod = half * half
+
+    def locate(host: str) -> tuple[int, int]:
+        idx = int(host[1:]) - 1
+        if not 0 <= idx < k * per_pod:
+            raise ValueError(f"{host} is not a host of fat_tree({k})")
+        return idx // per_pod, (idx % per_pod) // half
+
+    spod, sedge = locate(src)
+    dpod, dedge = locate(dst)
+    if src == dst:
+        raise ValueError("src and dst must differ")
+    se, de = f"p{spod}e{sedge}", f"p{dpod}e{dedge}"
+    if (spod, sedge) == (dpod, dedge):
+        return [src, se, dst]
+    if spod == dpod:
+        agg = _ecmp_pick(half, src, dst, salt, "agg")
+        return [src, se, f"p{spod}a{agg}", de, dst]
+    agg = _ecmp_pick(half, src, dst, salt, "agg")
+    core = agg * half + _ecmp_pick(half, src, dst, salt, "core") + 1
+    return [src, se, f"p{spod}a{agg}", f"c{core}", f"p{dpod}a{agg}", de, dst]
+
+
+def _install_path_rules(net: Network, path: list[str], priority: int = 10) -> int:
+    """Static forward+reverse unicast rules along ``path``; returns installs."""
+    src_ip = net.host(path[0]).ip
+    dst_ip = net.host(path[-1]).ip
+    installed = 0
+    for hops, match in (
+        (path, Match(ip_src=src_ip, ip_dst=dst_ip)),
+        (list(reversed(path)), Match(ip_src=dst_ip, ip_dst=src_ip)),
+    ):
+        for here, nxt in zip(hops[1:-1], hops[2:]):
+            net.switch(here).table.install(
+                FlowEntry(match, [Output(net.port(here, nxt))], priority=priority)
+            )
+            installed += 1
+    return installed
+
+
+@dataclass
+class HybridScenarioResult:
+    """What one hybrid scale run did and measured (simulated side only)."""
+
+    k: int
+    channels: int
+    payload_bytes: int
+    sample_rate: float
+    hosts: int = 0
+    switches: int = 0
+    fluid_flows: int = 0
+    packet_flows: int = 0
+    fluid_finished: int = 0
+    packet_finished: int = 0
+    sim_time_s: float = 0.0
+    epochs: int = 0
+    resolves: int = 0
+    bytes_advanced: float = 0.0
+    debited_bytes: float = 0.0
+    rules_installed: int = 0
+    #: per-flow goodputs (bps), keyed by flow id
+    fluid_goodput_bps: dict[str, float] = field(default_factory=dict)
+    packet_goodput_bps: dict[str, float] = field(default_factory=dict)
+    #: attached observer when requested, for snapshot export
+    observer: Optional[Observer] = None
+
+    def mean_goodput_bps(self, side: str = "fluid") -> float:
+        """Mean per-flow goodput for one side ('fluid' | 'packet')."""
+        vals = (
+            self.fluid_goodput_bps if side == "fluid" else self.packet_goodput_bps
+        )
+        return sum(vals.values()) / len(vals) if vals else 0.0
+
+
+def run_hybrid_scenario(
+    k: int = 16,
+    channels: int = 10_000,
+    payload_bytes: int = 1_000_000,
+    sample_rate: float = 0.01,
+    epoch_s: float = 0.010,
+    seed: int = 0,
+    observe: bool = False,
+    time_limit_s: float = 60.0,
+) -> HybridScenarioResult:
+    """Drive ``channels`` concurrent transfers over fat_tree(k) in hybrid mode.
+
+    Every channel gets a deterministic host pair and ECMP path; the engine's
+    hash decides which stay packet-level (they ride real TCP with a peer
+    reservation) and which advance as fluid.  Runs until every transfer
+    finishes or ``time_limit_s`` simulated seconds elapse.
+    """
+    import random
+
+    topo = fat_tree(k)
+    net = Network(topo, seed=seed)
+    obs = Observer.attach(net) if observe else None
+    eng = HybridEngine(net, epoch_s=epoch_s, sample_rate=sample_rate)
+    result = HybridScenarioResult(
+        k=k, channels=channels, payload_bytes=payload_bytes,
+        sample_rate=sample_rate,
+        hosts=len(topo.hosts()), switches=len(topo.switches()),
+        observer=obs,
+    )
+
+    rng = random.Random(seed)
+    hosts = topo.hosts()
+    packet_jobs: list[tuple[str, str, str, list[str]]] = []
+    fluid_handles = []
+    for i in range(channels):
+        src, dst = rng.sample(hosts, 2)
+        fid = f"ch-{i}"
+        path = fat_tree_path(k, src, dst, salt=fid)
+        if eng.fidelity_for(fid, path) == "packet":
+            packet_jobs.append((fid, src, dst, path))
+        else:
+            fluid_handles.append(eng.start_flow(path, payload_bytes, flow_id=fid))
+    result.fluid_flows = eng.live_flows
+    result.packet_flows = len(packet_jobs)
+
+    # Packet subset: static rules + one TCP transfer per job, each holding
+    # a peer reservation at the fidelity boundary for its lifetime.
+    wired_pairs: set[tuple[str, str]] = set()
+    for fid, src, dst, path in packet_jobs:
+        pair = (src, dst) if src < dst else (dst, src)
+        if pair not in wired_pairs:
+            wired_pairs.add(pair)
+            result.rules_installed += _install_path_rules(net, path)
+
+    def transfer(fid: str, src: str, dst: str, path: list[str], port: int):
+        server_stack = TcpStack(net.host(dst))
+        listener = server_stack.listen(port)
+        holder: dict = {}
+
+        def acceptor():
+            holder["server"] = yield listener.accept()
+
+        net.sim.process(acceptor(), name=f"hyb.accept.{fid}")
+        client_stack = TcpStack(net.host(src))
+        conn = yield client_stack.connect(net.host(dst).ip, port)
+        while "server" not in holder:
+            yield net.sim.timeout(0.0001)
+        pid = eng.peer_flow(path, flow_id=fid)
+        r = yield from measure_transfer(
+            net.sim, as_duplex(conn), as_duplex(holder["server"]), payload_bytes
+        )
+        eng.end_peer(pid)
+        result.packet_goodput_bps[fid] = r.goodput_bps
+        result.packet_finished += 1
+
+    for j, (fid, src, dst, path) in enumerate(packet_jobs):
+        net.sim.process(
+            transfer(fid, src, dst, path, 20000 + j), name=f"hyb.xfer.{fid}"
+        )
+
+    net.run(until=time_limit_s)
+    result.sim_time_s = net.sim.now
+    result.epochs = eng.epochs
+    result.resolves = eng.solver.resolves
+    result.bytes_advanced = eng.bytes_advanced
+    result.debited_bytes = eng.debited_bytes
+    result.fluid_finished = eng.finished_flows
+    for fc in fluid_handles:
+        if fc.finished:
+            result.fluid_goodput_bps[fc.flow_id] = fc.goodput_bps()
+    return result

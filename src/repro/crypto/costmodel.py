@@ -63,7 +63,9 @@ class CryptoCostModel:
         return self.rsa_public_op_s + self.dh_agreement_s
 
     def aes_throughput_Bps(self) -> float:
-        """Sustained one-core AES throughput (bytes/s) for fluid rate caps."""
+        """Sustained one-core AES throughput (bytes/s) — the value to pass
+        as ``rate_cap_bps`` (×8) when modeling an encrypting endpoint as a
+        capped flow in :class:`repro.net.fluid.FluidSolver`."""
         return 1.0 / self.aes_per_byte_s
 
 

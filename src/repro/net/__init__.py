@@ -20,8 +20,19 @@ from .flowtable import (
     SetField,
     ToController,
 )
-from .fluid import FluidAllocation, FluidFlow, max_min_fair
+from .fluid import FluidAllocation, FluidFlow, FluidSolver, max_min_fair
 from .host import Host
+from .hybrid import (
+    HANDOFF_CONTRACT,
+    PACKET_PINS,
+    WIRE_EFFICIENCY,
+    FluidTransfer,
+    HandoffInvariant,
+    HybridEngine,
+    PacketPin,
+    format_handoff_table,
+    format_pin_table,
+)
 from .link import Channel, Link, LinkStats
 from .network import Network
 from .node import CpuMeter, Node
@@ -32,6 +43,9 @@ from .topology import Topology, bcube, fat_tree, leaf_spine, linear
 
 __all__ = [
     "CONTROLLER_PORT",
+    "HANDOFF_CONTRACT",
+    "PACKET_PINS",
+    "WIRE_EFFICIENCY",
     "Action",
     "Channel",
     "CpuMeter",
@@ -41,9 +55,13 @@ __all__ = [
     "FlowTable",
     "FluidAllocation",
     "FluidFlow",
+    "FluidSolver",
+    "FluidTransfer",
     "Group",
     "GroupEntry",
+    "HandoffInvariant",
     "Host",
+    "HybridEngine",
     "IPv4Addr",
     "Link",
     "LinkStats",
@@ -54,6 +72,7 @@ __all__ = [
     "Node",
     "Output",
     "Packet",
+    "PacketPin",
     "PopMpls",
     "PushMpls",
     "SetField",
@@ -63,6 +82,8 @@ __all__ = [
     "Topology",
     "bcube",
     "fat_tree",
+    "format_handoff_table",
+    "format_pin_table",
     "ip",
     "leaf_spine",
     "linear",

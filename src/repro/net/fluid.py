@@ -7,7 +7,18 @@ progressive filling over the links each flow traverses.
 
 Per-flow rate caps (e.g. a Tor relay whose AES throughput is CPU-bound) are
 modeled as single-user virtual links, which keeps the water-filling loop
-uniform.  The solver is exact and deterministic.
+uniform.
+
+Two implementations share the model:
+
+* :func:`max_min_fair` — the pure-python **reference** solver (exact,
+  deterministic, one-shot).  Everything else is tested against it.
+* :class:`FluidSolver` — the **incremental** engine behind
+  :mod:`repro.net.hybrid`: array-backed per-link state, flow/capacity churn
+  that dirties the allocation instead of rebuilding it, per-link external
+  (packet-level) load debits, and a vectorized water-filling loop when
+  numpy is available.  ``tests/net/test_fluid_solver.py`` holds its rates
+  equal to the reference on random instances.
 """
 
 from __future__ import annotations
@@ -15,7 +26,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable, Iterable, Optional, Sequence
 
-__all__ = ["FluidFlow", "FluidAllocation", "max_min_fair"]
+try:  # numpy is a normal dependency, but the solver degrades gracefully
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on stripped installs
+    _np = None
+
+__all__ = ["FluidFlow", "FluidAllocation", "FluidSolver", "max_min_fair"]
 
 LinkId = Hashable
 
@@ -137,3 +153,227 @@ def max_min_fair(
         link_load_bps=load,
         link_capacity_bps=dict(capacities_bps),
     )
+
+
+class FluidSolver:
+    """Incremental max-min fair allocator with array-backed link state.
+
+    Where :func:`max_min_fair` rebuilds the whole problem per call, a
+    ``FluidSolver`` holds the link table and flow set between solves and
+    recomputes **only when dirty** — flow add/remove, capacity changes and
+    external-load updates mark the allocation stale; :meth:`rates` re-solves
+    lazily on the next read.  This is the churn model the hybrid engine
+    needs: thousands of epoch advances read a cached allocation, and only
+    epochs that saw churn pay for a re-solve.
+
+    Per-link **external load** is the packet-level hand-off: bytes the packet
+    simulator carried on a shared link are debited from the capacity the
+    fluid flows may fill (``effective = max(capacity - external, 0)``).
+
+    The water-filling loop itself is vectorized over flat link/flow
+    incidence arrays when numpy is importable and the instance is large
+    enough to benefit; the pure-python reference path is used otherwise.
+    Both paths freeze flows on saturated links with a *relative* tolerance,
+    so gigabit-scale capacities do not trip the numerical-safety fallback.
+    """
+
+    #: below this many flows the vectorized path costs more than it saves
+    _VECTOR_MIN_FLOWS = 32
+
+    def __init__(self, capacities_bps: Optional[dict[LinkId, float]] = None):
+        self._capacity: dict[LinkId, float] = {}
+        self._external: dict[LinkId, float] = {}
+        self._flows: dict[str, FluidFlow] = {}
+        self._rates: dict[str, float] = {}
+        self._dirty = True
+        #: how many times the allocation was recomputed (obs counter)
+        self.resolves = 0
+        for link, cap in (capacities_bps or {}).items():
+            self.add_link(link, cap)
+
+    # -- link table -------------------------------------------------------
+    def add_link(self, link: LinkId, capacity_bps: float) -> None:
+        """Register a link (idempotent only via :meth:`set_capacity`)."""
+        if link in self._capacity:
+            raise ValueError(f"link {link!r} already registered")
+        if capacity_bps < 0:
+            raise ValueError("negative link capacity")
+        self._capacity[link] = capacity_bps
+        self._dirty = True
+
+    def set_capacity(self, link: LinkId, capacity_bps: float) -> None:
+        """Change a link's capacity (topology churn: up/down/resize)."""
+        if link not in self._capacity:
+            raise KeyError(f"unknown link {link!r}")
+        if capacity_bps < 0:
+            raise ValueError("negative link capacity")
+        if self._capacity[link] != capacity_bps:
+            self._capacity[link] = capacity_bps
+            self._dirty = True
+
+    def set_external_load(self, link: LinkId, load_bps: float) -> None:
+        """Debit packet-level load from a link's fluid-fillable capacity."""
+        if link not in self._capacity:
+            raise KeyError(f"unknown link {link!r}")
+        if load_bps < 0:
+            raise ValueError("negative external load")
+        if self._external.get(link, 0.0) != load_bps:
+            if load_bps:
+                self._external[link] = load_bps
+            else:
+                self._external.pop(link, None)
+            self._dirty = True
+
+    def external_load_bps(self, link: LinkId) -> float:
+        """The packet-level load currently debited from one link."""
+        return self._external.get(link, 0.0)
+
+    # -- flow churn -------------------------------------------------------
+    def add_flow(
+        self,
+        flow_id: str,
+        links: Sequence[LinkId],
+        rate_cap_bps: Optional[float] = None,
+    ) -> None:
+        """Add one flow over ``links``; dirties the allocation."""
+        if flow_id in self._flows:
+            raise ValueError(f"duplicate flow id {flow_id!r}")
+        for l in links:
+            if l not in self._capacity:
+                raise KeyError(f"flow {flow_id} uses unknown link {l!r}")
+        self._flows[flow_id] = FluidFlow(flow_id, list(links), rate_cap_bps)
+        self._dirty = True
+
+    def remove_flow(self, flow_id: str) -> None:
+        """Remove one flow; dirties the allocation."""
+        del self._flows[flow_id]
+        self._rates.pop(flow_id, None)
+        self._dirty = True
+
+    def __contains__(self, flow_id: str) -> bool:
+        return flow_id in self._flows
+
+    def __len__(self) -> int:
+        return len(self._flows)
+
+    @property
+    def dirty(self) -> bool:
+        """True when churn since the last solve invalidated the rates."""
+        return self._dirty
+
+    def flow_links(self, flow_id: str) -> list[LinkId]:
+        """The links one registered flow traverses."""
+        return list(self._flows[flow_id].links)
+
+    # -- solving ----------------------------------------------------------
+    def _effective_capacities(self) -> dict[LinkId, float]:
+        return {
+            l: max(cap - self._external.get(l, 0.0), 0.0)
+            for l, cap in self._capacity.items()
+        }
+
+    def rates(self) -> dict[str, float]:
+        """Per-flow allocated rates (bps), re-solving only when dirty."""
+        if self._dirty:
+            if _np is not None and len(self._flows) >= self._VECTOR_MIN_FLOWS:
+                self._rates = self._solve_vectorized()
+            else:
+                self._rates = dict(
+                    max_min_fair(
+                        self._flows.values(), self._effective_capacities()
+                    ).rates_bps
+                )
+            self._dirty = False
+            self.resolves += 1
+        return self._rates
+
+    def rate(self, flow_id: str) -> float:
+        """One flow's allocated rate in bps."""
+        return self.rates()[flow_id]
+
+    def link_fluid_load_bps(self) -> dict[LinkId, float]:
+        """Aggregate fluid load per physical link under the current rates."""
+        rates = self.rates()
+        load: dict[LinkId, float] = {}
+        for fid, flow in self._flows.items():
+            r = rates[fid]
+            if r == float("inf"):
+                continue
+            for l in flow.links:
+                load[l] = load.get(l, 0.0) + r
+        return load
+
+    def allocation(self) -> FluidAllocation:
+        """The current allocation as a :class:`FluidAllocation` view."""
+        return FluidAllocation(
+            rates_bps=dict(self.rates()),
+            link_load_bps=self.link_fluid_load_bps(),
+            link_capacity_bps=self._effective_capacities(),
+        )
+
+    # -- vectorized water filling -----------------------------------------
+    def _solve_vectorized(self) -> dict[str, float]:
+        """Progressive filling over flat incidence arrays (numpy)."""
+        np = _np
+        flow_ids = list(self._flows)
+        n_flows = len(flow_ids)
+        link_ids = list(self._capacity)
+        link_index = {l: i for i, l in enumerate(link_ids)}
+        caps = [
+            max(self._capacity[l] - self._external.get(l, 0.0), 0.0)
+            for l in link_ids
+        ]
+        # Virtual single-user cap links keep the filling loop uniform.
+        flat_flow: list[int] = []
+        flat_link: list[int] = []
+        for fi, fid in enumerate(flow_ids):
+            flow = self._flows[fid]
+            for l in flow.links:
+                flat_flow.append(fi)
+                flat_link.append(link_index[l])
+            if flow.rate_cap_bps is not None:
+                flat_flow.append(fi)
+                flat_link.append(len(caps))
+                caps.append(flow.rate_cap_bps)
+
+        cap_arr = np.asarray(caps, dtype=np.float64)
+        n_links = len(caps)
+        flow_of = np.asarray(flat_flow, dtype=np.intp)
+        link_of = np.asarray(flat_link, dtype=np.intp)
+        rates = np.zeros(n_flows, dtype=np.float64)
+        remaining = cap_arr.copy()
+        # Pathless flows are unconstrained (inf), mirroring the reference.
+        has_links = np.zeros(n_flows, dtype=bool)
+        has_links[flow_of] = True
+        active = has_links.copy()
+        # Relative saturation tolerance (reference uses absolute 1e-9; at
+        # gigabit capacities float error alone exceeds that).
+        sat_floor = np.maximum(cap_arr * 1e-9, 1e-9)
+
+        while active.any():
+            on_active = active[flow_of]
+            users = np.bincount(link_of[on_active], minlength=n_links)
+            used = users > 0
+            if not used.any():
+                break
+            share = float(np.min(remaining[used] / users[used]))
+            share = max(share, 0.0)
+            rates[active] += share
+            remaining -= share * users
+            saturated = used & (remaining <= sat_floor)
+            frozen = np.zeros(n_flows, dtype=bool)
+            hit = on_active & saturated[link_of]
+            frozen[flow_of[hit]] = True
+            if not frozen.any():
+                # Numerical safety, as in the reference: freeze the
+                # lexicographically-first active flow.
+                first = min(
+                    (fid, i) for i, fid in enumerate(flow_ids) if active[i]
+                )[1]
+                frozen[first] = True
+            active &= ~frozen
+
+        out: dict[str, float] = {}
+        for i, fid in enumerate(flow_ids):
+            out[fid] = float(rates[i]) if has_links[i] else float("inf")
+        return out

@@ -60,16 +60,32 @@ class Channel:
         self.up = True
         #: optional attached repro.obs.journey.JourneyRecorder
         self.journey = None
+        #: fluid background load published by repro.net.hybrid each epoch;
+        #: 0.0 keeps the packet hot path byte-identical to a bare engine
+        self.fluid_load_bps = 0.0
 
     @property
     def name(self) -> str:
         """Directed link label, e.g. ``a[1]->b[2]``."""
         return f"{self.src.name}[{self.src_port}]->{self.dst.name}[{self.dst_port}]"
 
+    def effective_bandwidth_bps(self) -> float:
+        """Serialization bandwidth left for packet-level traffic.
+
+        The hybrid hand-off contract (docs/scale.md): fluid background load
+        debits the bandwidth packets serialize at, floored at 1% of capacity
+        so packet traffic is never fully starved.  With no fluid load the
+        branch is untaken and the arithmetic identical to a bare engine.
+        """
+        fluid = self.fluid_load_bps
+        if fluid:
+            return max(self.bandwidth_bps - fluid, self.bandwidth_bps * 0.01)
+        return self.bandwidth_bps
+
     def backlog_bytes(self) -> int:
         """Bytes currently queued ahead of a new arrival."""
         pending_s = max(0.0, self._tx_free_at - self.sim.now)
-        return int(pending_s * self.bandwidth_bps / 8.0)
+        return int(pending_s * self.effective_bandwidth_bps() / 8.0)
 
     def send(self, packet: Packet) -> bool:
         """Enqueue ``packet`` for transmission; False means tail-dropped."""
@@ -91,7 +107,7 @@ class Channel:
             if self.journey is not None:
                 self.journey.on_link_drop(self, packet, backlog)
             return False
-        tx_time = packet.size * 8.0 / self.bandwidth_bps
+        tx_time = packet.size * 8.0 / self.effective_bandwidth_bps()
         start = max(self.sim.now, self._tx_free_at)
         self._tx_free_at = start + tx_time
         deliver_at = self._tx_free_at + self.delay_s

@@ -46,6 +46,8 @@ class Network:
         #: callbacks invoked as fn(name, up) on switch crash/reboot
         self.switch_listeners: list = []
         self._link_index: dict[tuple[str, str], Link] = {}
+        #: optional attached repro.net.hybrid.HybridEngine (None = pure packet)
+        self.hybrid = None
         self._build()
 
     # ------------------------------------------------------------------

@@ -171,6 +171,43 @@ CONTRACT: tuple[MetricSpec, ...] = (
         "mic.cpu.busy_s", "gauge", "seconds", (),
         "sampled at snapshot time: MC-side compute booked since the last reset",
     ),
+    # -- hybrid fluid engine -------------------------------------------------
+    MetricSpec(
+        "fluid.flows.live", "gauge", "flows", (),
+        "sampled at snapshot time: fluid transfers currently advancing "
+        "(0 unless a hybrid engine is attached)",
+    ),
+    MetricSpec(
+        "fluid.flows.finished", "counter", "flows", (),
+        "an epoch advance reaches a fluid transfer's wire-byte target",
+    ),
+    MetricSpec(
+        "fluid.peers.live", "gauge", "flows", (),
+        "sampled at snapshot time: packet peers holding a fluid reservation",
+    ),
+    MetricSpec(
+        "fluid.epochs", "counter", "epochs", (),
+        "the hybrid engine's batched epoch tick runs",
+    ),
+    MetricSpec(
+        "fluid.solver.resolves", "counter", "solves", (),
+        "flow/capacity/external-load churn dirtied the allocation and a "
+        "rates() read re-solved it",
+    ),
+    MetricSpec(
+        "fluid.bytes.advanced", "counter", "bytes", (),
+        "an epoch tick advances fluid transfers by allocated rate x dt",
+    ),
+    MetricSpec(
+        "fluid.handoff.debited.bytes", "counter", "bytes", (),
+        "packet-level bytes measured on a fluid-shared link are debited at "
+        "the fidelity boundary",
+    ),
+    MetricSpec(
+        "fluid.link.load_bps", "gauge", "bps", ("channel",),
+        "sampled at snapshot time: fluid background load published to the "
+        "directed channel (only while a hybrid engine is attached)",
+    ),
     # -- histograms ---------------------------------------------------------
     MetricSpec(
         "net.packet_latency_s", "histogram", "seconds", ("host",),

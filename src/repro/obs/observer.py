@@ -170,6 +170,7 @@ class Observer:
         self._snapshot_hosts(snap)
         self._snapshot_nodes(snap)
         self._snapshot_control(snap)
+        self._snapshot_fluid(snap)
         for (name, key), hist in sorted(self._histograms.items()):
             snap.histograms[(name, key)] = hist.summary()
         snap.spans = list(self.spans)
@@ -214,6 +215,23 @@ class Observer:
     def _snapshot_nodes(self, snap: MetricsSnapshot) -> None:
         for name, node in sorted(self.net.nodes.items()):
             snap.add("node.cpu.busy_s", node.cpu.busy_s, node=name)
+
+    def _snapshot_fluid(self, snap: MetricsSnapshot) -> None:
+        # Hybrid-engine counters, present only when one is attached — so a
+        # packet-only run's snapshot stays exactly what it was before the
+        # fluid layer existed.
+        eng = getattr(self.net, "hybrid", None)
+        if eng is None:
+            return
+        snap.add("fluid.flows.live", eng.live_flows)
+        snap.add("fluid.flows.finished", eng.finished_flows)
+        snap.add("fluid.peers.live", eng.live_peers)
+        snap.add("fluid.epochs", eng.epochs)
+        snap.add("fluid.solver.resolves", eng.solver.resolves)
+        snap.add("fluid.bytes.advanced", eng.bytes_advanced)
+        snap.add("fluid.handoff.debited.bytes", eng.debited_bytes)
+        for ch in self.channels():
+            snap.add("fluid.link.load_bps", ch.fluid_load_bps, channel=ch.name)
 
     def _snapshot_control(self, snap: MetricsSnapshot) -> None:
         if self.controller is not None:

@@ -10,6 +10,7 @@ from .engine import (
     AnyOf,
     Event,
     Interrupt,
+    Periodic,
     Process,
     SimulationError,
     Simulator,
@@ -23,6 +24,7 @@ __all__ = [
     "AnyOf",
     "Event",
     "Interrupt",
+    "Periodic",
     "Process",
     "Resource",
     "SimulationError",

@@ -26,6 +26,7 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "Interrupt",
+    "Periodic",
     "SimulationError",
 ]
 
@@ -189,6 +190,62 @@ class AnyOf(Event):
             self.fail(ev.value)
             return
         self.succeed((ev, ev.value))
+
+
+class Periodic:
+    """A batched recurring callback: one heap event per period, not per item.
+
+    Rate-based subsystems (the hybrid fluid engine advancing thousands of
+    flows, samplers, housekeeping sweeps) must not cost one event per managed
+    item.  A ``Periodic`` keeps exactly one pending event on the heap and
+    invokes ``fn()`` every ``period_s`` simulated seconds; the callback
+    amortizes arbitrarily much batched work over that single event.
+
+    The ticker holds the heap non-empty while running, so a bare ``run()``
+    (run-until-drained) will not return until :meth:`stop` is called — the
+    callback itself may call ``stop()`` (e.g. when its batch empties), which
+    also cancels the in-flight wakeup.
+    """
+
+    __slots__ = ("sim", "period_s", "fn", "_running", "_epoch")
+
+    def __init__(self, sim: "Simulator", period_s: float, fn: Callable[[], None]):
+        if period_s <= 0:
+            raise SimulationError(f"period must be positive, got {period_s!r}")
+        self.sim = sim
+        self.period_s = period_s
+        self.fn = fn
+        self._running = False
+        #: generation counter — bumping it orphans any in-flight wakeup
+        self._epoch = 0
+
+    @property
+    def running(self) -> bool:
+        """True while ticks are scheduled."""
+        return self._running
+
+    def start(self) -> "Periodic":
+        """Begin ticking; the first callback fires one period from now."""
+        if not self._running:
+            self._running = True
+            self._epoch += 1
+            self._schedule(self._epoch)
+        return self
+
+    def stop(self) -> None:
+        """Cancel ticking (an in-flight wakeup becomes a no-op)."""
+        self._running = False
+        self._epoch += 1
+
+    def _schedule(self, epoch: int) -> None:
+        self.sim.call_later(self.period_s, lambda: self._tick(epoch))
+
+    def _tick(self, epoch: int) -> None:
+        if not self._running or epoch != self._epoch:
+            return  # stopped (or restarted) since this wakeup was scheduled
+        self.fn()
+        if self._running and epoch == self._epoch:
+            self._schedule(epoch)
 
 
 ProcessGenerator = Generator[Event, Any, Any]

@@ -14,8 +14,10 @@ Congestion control (slow start, AIMD congestion avoidance, fast retransmit
 on triple duplicate ACKs) is available per connection via
 ``congestion_control=True`` but is **off by default**: the paper's
 evaluation numbers are calibrated against the fixed-window model, whose
-steady state matches the fluid max-min solver (see
-``benchmarks/bench_fluid_validation.py``).
+steady state matches the max-min allocation computed by
+:class:`repro.net.fluid.FluidSolver` (cross-checked in
+``benchmarks/bench_fluid_validation.py``, and again at the fidelity
+boundary of the hybrid engine — ``docs/scale.md``).
 """
 
 from __future__ import annotations

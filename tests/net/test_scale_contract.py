@@ -1,0 +1,58 @@
+"""docs/scale.md is contract-diffed both ways, like docs/observability.md.
+
+The hand-off invariant table and the packet-pin table embedded in the doc
+must equal the renderings of ``repro.net.hybrid.HANDOFF_CONTRACT`` and
+``PACKET_PINS`` exactly — an invariant or pin exists in the doc iff it
+exists in code.
+"""
+
+from pathlib import Path
+
+from repro.net import (
+    HANDOFF_CONTRACT,
+    PACKET_PINS,
+    format_handoff_table,
+    format_pin_table,
+)
+
+DOC = Path(__file__).resolve().parents[2] / "docs" / "scale.md"
+
+
+def _embedded_table(begin: str, end: str) -> str:
+    text = DOC.read_text(encoding="utf-8")
+    assert begin in text and end in text, f"{begin} ... {end} markers missing"
+    inner = text.split(begin, 1)[1].split(end, 1)[0]
+    return inner.split("-->", 1)[1].strip()
+
+
+def test_handoff_doc_table_matches_registry_exactly():
+    embedded = _embedded_table(
+        "<!-- handoff-table:begin", "<!-- handoff-table:end"
+    )
+    assert embedded == format_handoff_table(HANDOFF_CONTRACT), (
+        "docs/scale.md hand-off table is stale — paste the output of "
+        "repro.net.hybrid.format_handoff_table(HANDOFF_CONTRACT) between "
+        "the markers"
+    )
+    rows = [ln for ln in embedded.splitlines() if ln.startswith("| `")]
+    assert len(rows) == len(HANDOFF_CONTRACT)
+
+
+def test_pin_doc_table_matches_registry_exactly():
+    embedded = _embedded_table("<!-- pin-table:begin", "<!-- pin-table:end")
+    assert embedded == format_pin_table(PACKET_PINS), (
+        "docs/scale.md pin table is stale — paste the output of "
+        "repro.net.hybrid.format_pin_table(PACKET_PINS) between the markers"
+    )
+    rows = [ln for ln in embedded.splitlines() if ln.startswith("| `")]
+    assert len(rows) == len(PACKET_PINS)
+
+
+def test_doc_names_every_invariant_outside_the_table_context():
+    """The prose around the tables references real registry entries only
+    via backticked names that exist — no invariant rot in the narrative."""
+    text = DOC.read_text(encoding="utf-8")
+    for inv in HANDOFF_CONTRACT:
+        assert f"`{inv.name}`" in text
+    for pin in PACKET_PINS:
+        assert f"`{pin.subsystem}`" in text

@@ -12,7 +12,7 @@ from pathlib import Path
 import pytest
 
 from repro.core import deploy_mic
-from repro.net import FlowEntry, Match, Network, Output, linear
+from repro.net import FlowEntry, HybridEngine, Match, Network, Output, linear
 from repro.obs import (
     ANOMALY_TRIGGERS,
     CONTRACT,
@@ -110,6 +110,12 @@ def _observed_names() -> set[str]:
         )
     obs = Observer.attach(net)
     obs.start_timeline(0.001)
+    # Hybrid leg: the same fabric carries one fluid transfer and a short
+    # packet-peer reservation, so the fluid-side names are exercised too.
+    eng = HybridEngine(net, epoch_s=0.002)
+    chain = ["h1", "s1", "s2", "s3", "h3"]
+    eng.start_flow(chain, 50_000)
+    eng.end_peer(eng.peer_flow(chain))
     h3.bind("tcp", 80, lambda host, p: None)
     h1.send_packet(h1.make_packet(h3.ip, dport=80, payload_size=100))
     net.run(until=0.01)

@@ -1,0 +1,89 @@
+"""Unit tests for the batched Periodic ticker."""
+
+import pytest
+
+from repro.sim import Periodic, SimulationError, Simulator
+
+
+def test_periodic_fires_at_fixed_intervals():
+    sim = Simulator()
+    times = []
+    ticker = Periodic(sim, 0.5, lambda: times.append(sim.now))
+    ticker.start()
+    sim.run(until=2.6)
+    assert times == pytest.approx([0.5, 1.0, 1.5, 2.0, 2.5])
+
+
+def test_periodic_stops_scheduling_after_stop():
+    sim = Simulator()
+    times = []
+    ticker = Periodic(sim, 1.0, lambda: times.append(sim.now))
+    ticker.start()
+    sim.call_at(2.5, ticker.stop)
+    sim.run()  # no until: the heap must drain once the ticker stops
+    assert times == pytest.approx([1.0, 2.0])
+    assert sim.now < 4.0
+
+
+def test_periodic_start_is_idempotent():
+    sim = Simulator()
+    count = []
+    ticker = Periodic(sim, 1.0, lambda: count.append(1))
+    ticker.start()
+    ticker.start()  # must not double-schedule
+    sim.run(until=3.5)
+    assert len(count) == 3
+
+
+def test_periodic_restart_after_stop():
+    sim = Simulator()
+    times = []
+    ticker = Periodic(sim, 1.0, lambda: times.append(sim.now))
+    ticker.start()
+    sim.call_at(1.5, ticker.stop)
+    sim.call_at(5.0, ticker.start)
+    sim.run(until=7.5)
+    assert times == pytest.approx([1.0, 6.0, 7.0])
+
+
+def test_periodic_stop_from_inside_callback():
+    sim = Simulator()
+    times = []
+    ticker = Periodic(sim, 1.0, lambda: (times.append(sim.now), ticker.stop()))
+    ticker.start()
+    sim.run()
+    assert times == pytest.approx([1.0])
+
+
+def test_periodic_running_property():
+    sim = Simulator()
+    ticker = Periodic(sim, 1.0, lambda: None)
+    assert not ticker.running
+    ticker.start()
+    assert ticker.running
+    ticker.stop()
+    assert not ticker.running
+
+
+def test_periodic_rejects_nonpositive_period():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Periodic(sim, 0.0, lambda: None)
+    with pytest.raises(SimulationError):
+        Periodic(sim, -1.0, lambda: None)
+
+
+def test_periodic_one_heap_event_per_period():
+    """A stale-epoch tick (stop+start in one instant) must not double-fire."""
+    sim = Simulator()
+    times = []
+    ticker = Periodic(sim, 1.0, lambda: times.append(sim.now))
+    ticker.start()
+
+    def churn():
+        ticker.stop()
+        ticker.start()  # re-arms from now; the old pending tick is stale
+
+    sim.call_at(0.5, churn)
+    sim.run(until=3.2)
+    assert times == pytest.approx([1.5, 2.5])
