@@ -4,7 +4,7 @@ PYTHON ?= python
 # Same invocation the CI tier-1 gate uses (src/ layout, no install needed).
 PYPATH = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-verbose lint verify obs-demo journey-demo chaos-demo bench bench-quick bench-scale figures quick-figures examples clean
+.PHONY: install test test-verbose lint verify obs-demo journey-demo chaos-demo prof-demo trajectory bench bench-quick bench-scale figures quick-figures examples clean
 
 install:
 	pip install -e . --no-build-isolation || pip install -e .
@@ -66,14 +66,31 @@ bench-quick:
 		benchmarks/bench_lookup.py benchmarks/bench_scalability.py -q \
 		--benchmark-json=benchmarks/results/bench_quick.json
 
-# Hybrid-mode scale run: 10k concurrent channels on fat_tree(16), emitting
-# BENCH_7.json + an Observer snapshot under benchmarks/results/.
+# Hybrid-mode scale run: 10k concurrent channels on fat_tree(16) with the
+# self-profiler hooked, emitting the committed trajectory entry under
+# benchmarks/trajectory/ + an Observer snapshot under benchmarks/results/.
 bench-scale:
 	@mkdir -p benchmarks/results
 	$(PYPATH) $(PYTHON) -m pytest benchmarks/bench_hybrid_scale.py -q \
 		--benchmark-only
 	$(PYPATH) $(PYTHON) -m repro.obs summarize \
 		benchmarks/results/hybrid_scale_snapshot.json
+
+# Self-profiling demo: a profiled chaos run, its prof-top table, and the
+# profiled snapshot re-summarized through the normal pipeline.
+prof-demo:
+	@mkdir -p benchmarks/results
+	$(PYPATH) $(PYTHON) -c "\
+	from repro.faults import run_chaos; \
+	from repro.obs import Profiler, format_prof_top; \
+	prof = Profiler(sample_every=200); \
+	card, dep = run_chaos(seed=0, profiler=prof); \
+	print(format_prof_top(prof.report()))"
+
+# Validate the committed perf trajectory and print one line per entry.
+trajectory:
+	$(PYPATH) $(PYTHON) -m repro.bench trajectory validate
+	$(PYPATH) $(PYTHON) -m repro.bench trajectory show
 
 figures:
 	$(PYPATH) $(PYTHON) -m repro.bench --save benchmarks/results

@@ -1,14 +1,19 @@
 """Hybrid-mode scale benchmark: 10k+ concurrent channels on fat_tree(16).
 
-The first entry in the repo's perf trajectory.  A full run drives 10,000
-concurrent transfers over a 1,024-host fat-tree in hybrid fidelity (the
-hash-sampled packet subset rides real TCP; everything else advances as
-fluid rates) and records wall time, peak RSS, and channels/second to
-``benchmarks/results/BENCH_7.json``.  An Observer snapshot of the same run
-is exported next to it so ``python -m repro.obs summarize`` works on
-hybrid runs end to end.
+One committed entry in the repo's perf trajectory (see
+``repro.bench.trajectory`` and ``benchmarks/trajectory/``).  A full run
+drives 10,000 concurrent transfers over a 1,024-host fat-tree in hybrid
+fidelity (the hash-sampled packet subset rides real TCP; everything else
+advances as fluid rates) with the self-profiler hooked, and records wall
+time, peak RSS, channels/second, and the profile section to
+``benchmarks/trajectory/BENCH_8.json``.  An Observer snapshot of the same
+run plus the profile's "top" table land under ``benchmarks/results/`` so
+``python -m repro.obs summarize`` / ``prof-top`` work on hybrid runs end
+to end.
 
-Set ``BENCH_QUICK=1`` for the CI-sized slice: fat_tree(8), 2,000 channels.
+Set ``BENCH_QUICK=1`` for the CI-sized slice: fat_tree(8), 2,000 channels
+(written to ``BENCH_8.quick.json`` so full and quick entries never clobber
+each other).
 """
 
 import json
@@ -18,10 +23,12 @@ import resource
 import time
 
 from repro.obs.exporters import to_json
+from repro.obs.prof import format_prof_top
 from repro.bench import run_hybrid_scenario
 
 QUICK = bool(os.environ.get("BENCH_QUICK"))
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+TRAJECTORY_DIR = pathlib.Path(__file__).parent / "trajectory"
 
 K = 8 if QUICK else 16
 CHANNELS = 2_000 if QUICK else 10_000
@@ -37,7 +44,7 @@ def test_hybrid_scale(benchmark):
     r = benchmark.pedantic(
         lambda: run_hybrid_scenario(
             k=K, channels=CHANNELS, payload_bytes=PAYLOAD_BYTES,
-            sample_rate=SAMPLE_RATE, seed=SEED, observe=True,
+            sample_rate=SAMPLE_RATE, seed=SEED, observe=True, profile=True,
             time_limit_s=120.0,
         ),
         rounds=1, iterations=1,
@@ -52,9 +59,18 @@ def test_hybrid_scale(benchmark):
     assert r.packet_flows > 0, "sampling produced no packet-level channels"
     assert wall_s < WALL_BUDGET_S
 
+    # The contracted subsystems must explain (nearly) the whole run — if
+    # attribution drops, something hot is running outside the profiler's
+    # contract and the trajectory's profile section stops being honest.
+    assert r.profile is not None
+    assert r.profile["attributed_fraction"] >= 0.90, (
+        f"only {r.profile['attributed_fraction']:.1%} of wall time attributed "
+        "to contracted subsystems"
+    )
+
     doc = {
         "bench": "hybrid_scale",
-        "trajectory_entry": 7,
+        "trajectory_entry": 8,
         "quick": QUICK,
         "params": {
             "k": K, "channels": CHANNELS, "payload_bytes": PAYLOAD_BYTES,
@@ -77,14 +93,22 @@ def test_hybrid_scale(benchmark):
         "rules_installed": r.rules_installed,
         "mean_fluid_goodput_bps": r.mean_goodput_bps("fluid"),
         "mean_packet_goodput_bps": r.mean_goodput_bps("packet"),
+        "profile": r.profile,
     }
+    TRAJECTORY_DIR.mkdir(exist_ok=True)
+    entry_name = "BENCH_8.quick.json" if QUICK else "BENCH_8.json"
+    (TRAJECTORY_DIR / entry_name).write_text(json.dumps(doc, indent=2) + "\n")
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_7.json").write_text(json.dumps(doc, indent=2) + "\n")
     snap_path = RESULTS_DIR / "hybrid_scale_snapshot.json"
     snap_path.write_text(to_json(r.observer.snapshot()) + "\n")
+    (RESULTS_DIR / "hybrid_scale_prof_top.txt").write_text(
+        format_prof_top(r.profile) + "\n"
+    )
     print(
         f"\nhybrid scale: fat_tree({K}) {CHANNELS} channels "
         f"({r.packet_flows} packet / {r.fluid_flows} fluid) "
         f"wall={wall_s:.1f}s rss={peak_rss_mb:.0f}MB "
-        f"{CHANNELS / wall_s:.0f} chan/s epochs={r.epochs}"
+        f"{CHANNELS / wall_s:.0f} chan/s epochs={r.epochs} "
+        f"prof={r.profile['attributed_fraction']:.1%} attributed"
     )
+    print(format_prof_top(r.profile))

@@ -14,6 +14,7 @@ from .experiments import (
 from .harness import FigureResult, fmt_si, run_process
 from .hybrid_scenario import HybridScenarioResult, fat_tree_path, run_hybrid_scenario
 from .testbed import Testbed
+from .trajectory import compare, load_trajectory, validate_entry
 
 __all__ = [
     "FigureResult",
@@ -36,4 +37,7 @@ __all__ = [
     "run_process",
     "scalability_routing_calculation",
     "scalability_vs_fabric",
+    "validate_entry",
+    "load_trajectory",
+    "compare",
 ]

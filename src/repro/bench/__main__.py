@@ -6,6 +6,8 @@ Usage::
     python -m repro.bench fig7 fig9a      # a subset
     python -m repro.bench --quick         # reduced sweeps (smoke test)
     python -m repro.bench --list
+    python -m repro.bench trajectory ...  # perf-trajectory tools
+                                          # (see repro.bench.trajectory)
 
 Each experiment prints the paper-figure data table to stdout; pass
 ``--save DIR`` to also write the tables as text files (and, for figures,
@@ -55,6 +57,12 @@ EXPERIMENTS = {
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "trajectory":
+        from .trajectory import main as trajectory_main
+
+        return trajectory_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the MIC paper's evaluation figures.",

@@ -109,6 +109,8 @@ class HybridScenarioResult:
     packet_goodput_bps: dict[str, float] = field(default_factory=dict)
     #: attached observer when requested, for snapshot export
     observer: Optional[Observer] = None
+    #: profile document (ProfileReport.to_doc()) when ``profile=True``
+    profile: Optional[dict] = None
 
     def mean_goodput_bps(self, side: str = "fluid") -> float:
         """Mean per-flow goodput for one side ('fluid' | 'packet')."""
@@ -126,6 +128,7 @@ def run_hybrid_scenario(
     epoch_s: float = 0.010,
     seed: int = 0,
     observe: bool = False,
+    profile: bool = False,
     time_limit_s: float = 60.0,
 ) -> HybridScenarioResult:
     """Drive ``channels`` concurrent transfers over fat_tree(k) in hybrid mode.
@@ -134,8 +137,18 @@ def run_hybrid_scenario(
     hash decides which stay packet-level (they ride real TCP with a peer
     reservation) and which advance as fluid.  Runs until every transfer
     finishes or ``time_limit_s`` simulated seconds elapse.
+
+    With ``profile=True`` a :class:`repro.obs.Profiler` is hooked for the
+    run — setup attributed to ``scenario.setup``, the run loop to the
+    contracted subsystems — and the report lands in ``result.profile``.
     """
     import random
+
+    from ..obs.prof import Profiler
+
+    prof = Profiler(sample_every=1000) if profile else None
+    if prof is not None:
+        prof.enter("scenario.setup")
 
     topo = fat_tree(k)
     net = Network(topo, seed=seed)
@@ -198,6 +211,10 @@ def run_hybrid_scenario(
             transfer(fid, src, dst, path, 20000 + j), name=f"hyb.xfer.{fid}"
         )
 
+    if prof is not None:
+        prof.exit()  # scenario.setup
+        prof.hook(net)  # also hooks the engine via net.hybrid
+
     net.run(until=time_limit_s)
     result.sim_time_s = net.sim.now
     result.epochs = eng.epochs
@@ -208,4 +225,6 @@ def run_hybrid_scenario(
     for fc in fluid_handles:
         if fc.finished:
             result.fluid_goodput_bps[fc.flow_id] = fc.goodput_bps()
+    if prof is not None:
+        result.profile = prof.report().to_doc()
     return result

@@ -1,0 +1,296 @@
+"""Tracked performance trajectory: schema, loader, and regression compare.
+
+Scale benchmarks append one committed JSON document per PR-era entry under
+``benchmarks/trajectory/`` (``BENCH_7.json``, ``BENCH_8.json``, ...), so the
+repo carries its own performance history.  This module is the contract for
+those documents:
+
+* :func:`validate_entry` — schema-checks one document (required keys,
+  types, and the optional ``profile`` section's shape);
+* :func:`load_trajectory` — loads and validates every ``BENCH_*.json``
+  in a directory, ordered by entry number;
+* :func:`compare` — diffs two entries against a percentage budget over
+  the headline axes (wall time and peak RSS must not grow past budget,
+  channel throughput must not shrink past budget), refusing to compare
+  entries whose workloads differ.
+
+CLI (dispatched from ``python -m repro.bench trajectory ...``)::
+
+    python -m repro.bench trajectory validate [DIR]
+    python -m repro.bench trajectory show [DIR]
+    python -m repro.bench trajectory compare A.json B.json --budget 25
+
+Exit codes: 0 clean, 1 validation failure or budget regression,
+2 incomparable workloads (override with ``--force``).
+
+Wall-clock numbers are machine-dependent, which is why ``compare`` takes a
+budget instead of demanding equality — CI uses a generous budget to catch
+step-function regressions, not noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import re
+from typing import Any, Optional
+
+__all__ = [
+    "REQUIRED_FIELDS",
+    "REGRESSION_AXES",
+    "validate_entry",
+    "load_trajectory",
+    "compare",
+    "format_entry",
+    "main",
+]
+
+#: required key -> accepted types, for every trajectory entry
+REQUIRED_FIELDS: dict[str, tuple[type, ...]] = {
+    "bench": (str,),
+    "trajectory_entry": (int,),
+    "quick": (bool,),
+    "params": (dict,),
+    "wall_s": (int, float),
+    "peak_rss_mb": (int, float),
+    "channels_per_s": (int, float),
+}
+
+#: headline axes compare() gates on: (key, direction) where direction is
+#: "up" (growth past budget is a regression) or "down" (shrinkage is).
+REGRESSION_AXES: tuple[tuple[str, str], ...] = (
+    ("wall_s", "up"),
+    ("peak_rss_mb", "up"),
+    ("channels_per_s", "down"),
+)
+
+_ENTRY_RE = re.compile(r"^BENCH_(\d+)(\.quick)?\.json$")
+
+#: default committed trajectory directory, relative to the working dir
+DEFAULT_DIR = pathlib.Path("benchmarks") / "trajectory"
+
+
+def validate_entry(
+    doc: Any, source: Optional[str] = None
+) -> list[str]:
+    """Schema-check one trajectory document; returns a list of problems.
+
+    An empty list means the document is valid.  Extra keys are allowed —
+    the schema floors what every entry must carry, it does not cap what a
+    bench may add.
+    """
+    where = f"{source}: " if source else ""
+    if not isinstance(doc, dict):
+        return [f"{where}not a JSON object"]
+    problems: list[str] = []
+    for key, types in REQUIRED_FIELDS.items():
+        if key not in doc:
+            problems.append(f"{where}missing required key {key!r}")
+        elif not isinstance(doc[key], types) or isinstance(doc[key], bool) != (
+            bool in types
+        ):
+            problems.append(
+                f"{where}{key!r} must be {'/'.join(t.__name__ for t in types)},"
+                f" got {type(doc[key]).__name__}"
+            )
+    for key, _direction in REGRESSION_AXES:
+        value = doc.get(key)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            if value < 0:
+                problems.append(f"{where}{key!r} must be >= 0, got {value}")
+    profile = doc.get("profile")
+    if profile is not None:
+        problems.extend(_validate_profile(profile, where))
+    return problems
+
+
+def _validate_profile(profile: Any, where: str) -> list[str]:
+    if not isinstance(profile, dict):
+        return [f"{where}'profile' must be an object"]
+    problems: list[str] = []
+    for key in ("window_ns", "attributed_ns", "subsystems"):
+        if key not in profile:
+            problems.append(f"{where}profile missing {key!r}")
+    subsystems = profile.get("subsystems")
+    if subsystems is not None:
+        if not isinstance(subsystems, list):
+            problems.append(f"{where}profile 'subsystems' must be a list")
+        else:
+            for i, row in enumerate(subsystems):
+                if not isinstance(row, dict) or "name" not in row:
+                    problems.append(
+                        f"{where}profile subsystem [{i}] needs a 'name'"
+                    )
+    return problems
+
+
+def load_trajectory(
+    directory: pathlib.Path | str = DEFAULT_DIR,
+) -> list[tuple[pathlib.Path, dict[str, Any]]]:
+    """Load every ``BENCH_*.json`` under ``directory``, ordered by entry.
+
+    Raises ``ValueError`` listing every schema problem if any entry fails
+    :func:`validate_entry`; full entries order before their ``.quick``
+    variants of the same number.
+    """
+    directory = pathlib.Path(directory)
+    found: list[tuple[int, int, pathlib.Path]] = []
+    for path in directory.glob("BENCH_*.json"):
+        m = _ENTRY_RE.match(path.name)
+        if m:
+            found.append((int(m.group(1)), 1 if m.group(2) else 0, path))
+    out: list[tuple[pathlib.Path, dict[str, Any]]] = []
+    problems: list[str] = []
+    for _n, _quick, path in sorted(found):
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        problems.extend(validate_entry(doc, source=path.name))
+        out.append((path, doc))
+    if problems:
+        raise ValueError("; ".join(problems))
+    return out
+
+
+def compare(
+    base: dict[str, Any],
+    candidate: dict[str, Any],
+    budget_pct: float,
+    force: bool = False,
+) -> tuple[list[str], list[str]]:
+    """Diff ``candidate`` against ``base`` within a percentage budget.
+
+    Returns ``(regressions, lines)`` — human-readable per-axis report
+    lines plus the subset that breached budget.  Raises ``ValueError``
+    when the entries ran different workloads (bench name, quick flag, or
+    params differ) unless ``force`` is set; comparing those numbers would
+    be noise dressed up as signal.
+    """
+    if not force:
+        mismatched = [
+            key for key in ("bench", "quick", "params")
+            if base.get(key) != candidate.get(key)
+        ]
+        if mismatched:
+            raise ValueError(
+                "entries are not comparable (differ in "
+                + ", ".join(
+                    f"{k}: {base.get(k)!r} vs {candidate.get(k)!r}"
+                    for k in mismatched
+                )
+                + "); pass force to compare anyway"
+            )
+    regressions: list[str] = []
+    lines: list[str] = []
+    for key, direction in REGRESSION_AXES:
+        a, b = float(base[key]), float(candidate[key])
+        delta_pct = ((b - a) / a * 100.0) if a else 0.0
+        arrow = "worse" if (
+            (direction == "up" and delta_pct > budget_pct)
+            or (direction == "down" and delta_pct < -budget_pct)
+        ) else "ok"
+        line = (
+            f"{key:<16s} {a:>12.3f} -> {b:>12.3f}  "
+            f"({delta_pct:+7.1f}% vs budget ±{budget_pct:g}%)  {arrow}"
+        )
+        lines.append(line)
+        if arrow == "worse":
+            regressions.append(line)
+    return regressions, lines
+
+
+def format_entry(doc: dict[str, Any]) -> str:
+    """One-line summary of a trajectory entry."""
+    quick = " (quick)" if doc.get("quick") else ""
+    prof = ""
+    profile = doc.get("profile")
+    if isinstance(profile, dict) and "attributed_fraction" in profile:
+        prof = f" prof={profile['attributed_fraction'] * 100:.0f}%"
+    return (
+        f"#{doc.get('trajectory_entry', '?'):>2} {doc.get('bench', '?')}{quick}: "
+        f"wall={doc.get('wall_s', 0):.1f}s rss={doc.get('peak_rss_mb', 0):.0f}MB "
+        f"rate={doc.get('channels_per_s', 0):.1f}/s{prof}"
+    )
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    try:
+        entries = load_trajectory(args.dir)
+    except ValueError as exc:
+        print(f"trajectory invalid: {exc}")
+        return 1
+    if not entries:
+        print(f"no BENCH_*.json entries under {args.dir}")
+        return 1
+    print(f"{len(entries)} entries valid under {args.dir}")
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    try:
+        entries = load_trajectory(args.dir)
+    except ValueError as exc:
+        print(f"trajectory invalid: {exc}")
+        return 1
+    for path, doc in entries:
+        print(f"{format_entry(doc)}  [{path.name}]")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    docs = []
+    for path in (args.base, args.candidate):
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        problems = validate_entry(doc, source=path)
+        if problems:
+            print("invalid entry: " + "; ".join(problems))
+            return 1
+        docs.append(doc)
+    try:
+        regressions, lines = compare(
+            docs[0], docs[1], args.budget, force=args.force
+        )
+    except ValueError as exc:
+        print(str(exc))
+        return 2
+    print(f"compare {args.base} -> {args.candidate}")
+    for line in lines:
+        print("  " + line)
+    if regressions:
+        print(f"{len(regressions)} axis(es) regressed past budget")
+        return 1
+    print("within budget")
+    return 0
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Entry point for ``python -m repro.bench trajectory ...``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench trajectory",
+        description="validate, list, and diff committed performance "
+                    "trajectory entries",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    validate = sub.add_parser("validate", help="schema-check every entry")
+    validate.add_argument("dir", nargs="?", default=DEFAULT_DIR)
+    validate.set_defaults(func=_cmd_validate)
+
+    show = sub.add_parser("show", help="print one line per entry")
+    show.add_argument("dir", nargs="?", default=DEFAULT_DIR)
+    show.set_defaults(func=_cmd_show)
+
+    cmp_p = sub.add_parser(
+        "compare", help="diff candidate vs base within a percentage budget"
+    )
+    cmp_p.add_argument("base")
+    cmp_p.add_argument("candidate")
+    cmp_p.add_argument("--budget", type=float, default=25.0,
+                       help="allowed drift per axis in percent (default 25)")
+    cmp_p.add_argument("--force", action="store_true",
+                       help="compare even if workloads differ")
+    cmp_p.set_defaults(func=_cmd_compare)
+
+    args = parser.parse_args(argv)
+    return args.func(args)

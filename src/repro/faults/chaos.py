@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..analysis.sanitizer import SimSanitizer
+    from ..obs.prof import Profiler
 
 from ..attacks import ObservationPoint, correlate_with_truth
 from ..core.client import MicDatagramServer
@@ -87,6 +88,7 @@ def run_chaos(
     max_settle_s: float = 30.0,
     schedule: Optional[FaultSchedule] = None,
     sanitizer: Optional["SimSanitizer"] = None,
+    profiler: Optional["Profiler"] = None,
 ) -> tuple[dict, MicDeployment]:
     """Run one seeded chaos scenario; returns ``(scorecard, deployment)``.
 
@@ -100,6 +102,12 @@ def run_chaos(
     checks run after settling; findings accumulate on the caller's
     instance and the scorecard itself is untouched, so a sanitized run
     must produce a byte-identical card.
+
+    ``profiler`` (a :class:`repro.obs.Profiler`) is hooked into the
+    simulator, flow tables, hybrid engine (if any), and journey/observer
+    hooks before the scenario starts; read ``profiler.report()`` after the
+    call.  Like the sanitizer, it must not perturb the card — frame counts
+    and named counters are deterministic per seed, only wall-ns vary.
     """
     if n_channels < 1 or n_channels > 8:
         raise ValueError(f"n_channels {n_channels} out of [1, 8]")
@@ -116,6 +124,8 @@ def run_chaos(
     if sanitizer is not None:
         sanitizer.sim = sim
         sim._sanitizer = sanitizer
+    if profiler is not None:
+        profiler.hook(dep.net)
 
     # -- establish n datagram channels on cross-pod host pairs -------------
     pairs = [(f"h{i}", f"h{17 - i}", 7000 + i) for i in range(1, n_channels + 1)]

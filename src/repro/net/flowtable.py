@@ -416,6 +416,9 @@ class FlowTable:
         #: classification statistics (diagnostics; not part of forwarding)
         self.cache_hits = 0
         self.cache_misses = 0
+        #: opt-in self-profiler (repro.obs.prof.Profiler); None = off and
+        #: the lookup hooks below are statically dead.
+        self._prof: Optional[Any] = None
 
     def _bump(self) -> None:
         """Record a table mutation: stale the flat view and the cache."""
@@ -586,6 +589,23 @@ class FlowTable:
         agrees with :meth:`lookup_linear` on every packet by construction
         (and by the hypothesis equivalence suite).
         """
+        prof = self._prof
+        if prof is None:
+            return self._lookup(packet, in_port)
+        prof.enter("flowtable.lookup")
+        try:
+            hits_before = self.cache_hits
+            entry = self._lookup(packet, in_port)
+            prof.count(
+                "flowtable.lookup",
+                "path.cached" if self.cache_hits > hits_before else "path.indexed",
+            )
+            return entry
+        finally:
+            prof.exit()
+
+    def _lookup(self, packet: Packet, in_port: int) -> Optional[FlowEntry]:
+        """The cache-then-index classification pipeline behind :meth:`lookup`."""
         if self.cache_size <= 0:
             return self._lookup_indexed(packet, in_port)
         cache = self._lookup_cache
@@ -629,10 +649,18 @@ class FlowTable:
         must agree with it entry-for-entry (see the equivalence property
         suite), and the lookup microbenchmark uses it as the baseline.
         """
-        for entry in self.iter_entries():
-            if entry.match.matches(packet, in_port):
-                return entry
-        return None
+        prof = self._prof
+        if prof is not None:
+            prof.enter("flowtable.lookup")
+            prof.count("flowtable.lookup", "path.linear")
+        try:
+            for entry in self.iter_entries():
+                if entry.match.matches(packet, in_port):
+                    return entry
+            return None
+        finally:
+            if prof is not None:
+                prof.exit()
 
     def apply(
         self, packet: Packet, in_port: int

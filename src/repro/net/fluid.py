@@ -188,6 +188,9 @@ class FluidSolver:
         self._dirty = True
         #: how many times the allocation was recomputed (obs counter)
         self.resolves = 0
+        #: opt-in self-profiler (repro.obs.prof.Profiler); None = off and
+        #: the solve hook in rates() is statically dead.
+        self._prof = None
         for link, cap in (capacities_bps or {}).items():
             self.add_link(link, cap)
 
@@ -275,17 +278,37 @@ class FluidSolver:
     def rates(self) -> dict[str, float]:
         """Per-flow allocated rates (bps), re-solving only when dirty."""
         if self._dirty:
-            if _np is not None and len(self._flows) >= self._VECTOR_MIN_FLOWS:
-                self._rates = self._solve_vectorized()
+            prof = self._prof
+            if prof is None:
+                self._resolve()
             else:
-                self._rates = dict(
-                    max_min_fair(
-                        self._flows.values(), self._effective_capacities()
-                    ).rates_bps
+                n_flows = len(self._flows)
+                prof.enter("fluid.solve")
+                try:
+                    vectorized = self._resolve()
+                finally:
+                    prof.exit()
+                prof.count(
+                    "fluid.solve",
+                    "path.vectorized" if vectorized else "path.scalar",
                 )
-            self._dirty = False
-            self.resolves += 1
+                prof.count("fluid.solve", "flows.solved", n_flows)
         return self._rates
+
+    def _resolve(self) -> bool:
+        """Recompute the allocation; returns True on the vectorized path."""
+        vectorized = _np is not None and len(self._flows) >= self._VECTOR_MIN_FLOWS
+        if vectorized:
+            self._rates = self._solve_vectorized()
+        else:
+            self._rates = dict(
+                max_min_fair(
+                    self._flows.values(), self._effective_capacities()
+                ).rates_bps
+            )
+        self._dirty = False
+        self.resolves += 1
+        return vectorized
 
     def rate(self, flow_id: str) -> float:
         """One flow's allocated rate in bps."""

@@ -300,6 +300,9 @@ class HybridEngine:
         self._pinned_nodes: set[str] = set()
         self._flow_seq = 0
         self._peer_seq = 0
+        #: opt-in self-profiler (repro.obs.prof.Profiler); None = off and
+        #: the epoch-phase hooks are statically dead.
+        self._prof = None
         # -- counters surfaced through the obs contract --
         self.epochs = 0
         self.finished_flows = 0
@@ -486,7 +489,33 @@ class HybridEngine:
         dt = now - self._last_tick_s
         self._last_tick_s = now
         self.epochs += 1
+        prof = self._prof
+        if prof is None:
+            self._measure_phase(dt)
+            if self._flows:
+                self._publish_phase()
+                self._advance_phase(now, dt)
+        else:
+            prof.enter("hybrid.epoch")
+            try:
+                prof.enter("hybrid.measure")
+                try:
+                    self._measure_phase(dt)
+                finally:
+                    prof.exit()
+                if self._flows:
+                    # the solve inside nests its own fluid.solve frame
+                    self._publish_phase()
+                    prof.enter("hybrid.advance")
+                    try:
+                        self._advance_phase(now, dt)
+                    finally:
+                        prof.exit()
+            finally:
+                prof.exit()
+        self._maybe_quiesce()
 
+    def _measure_phase(self, dt: float) -> None:
         # 0. Refresh peer reservations from the nominal allocation (raw
         #    capacities, no external debits — breaks the measure/reserve
         #    circularity that would otherwise starve registered peers).
@@ -517,47 +546,49 @@ class HybridEngine:
                 load_bps = max(delta_bytes * 8.0 / dt - reserved, 0.0)
                 self.solver.set_external_load(name, load_bps)
 
-        if self._flows:
-            # 2. Re-solve (lazy: a clean allocation costs nothing) and
-            #    publish the fluid background load to the packet engine —
-            #    total allocated load minus the shares reserved for peers.
-            was_dirty = self.solver.dirty
-            self._rates = self.solver.rates()
-            if was_dirty:
-                loads = self.solver.link_fluid_load_bps()
-                peer_load: dict[str, float] = {}
-                for pid, links in self._peers.items():
-                    r = self._rates.get(pid, 0.0)
-                    if r and r != float("inf"):
-                        for l in links:
-                            peer_load[l] = peer_load.get(l, 0.0) + r
-                for name, ch in self._channels.items():
-                    ch.fluid_load_bps = max(
-                        loads.get(name, 0.0) - peer_load.get(name, 0.0), 0.0
-                    )
+    def _publish_phase(self) -> None:
+        # 2. Re-solve (lazy: a clean allocation costs nothing) and
+        #    publish the fluid background load to the packet engine —
+        #    total allocated load minus the shares reserved for peers.
+        was_dirty = self.solver.dirty
+        self._rates = self.solver.rates()
+        if was_dirty:
+            loads = self.solver.link_fluid_load_bps()
+            peer_load: dict[str, float] = {}
+            for pid, links in self._peers.items():
+                r = self._rates.get(pid, 0.0)
+                if r and r != float("inf"):
+                    for l in links:
+                        peer_load[l] = peer_load.get(l, 0.0) + r
+            for name, ch in self._channels.items():
+                ch.fluid_load_bps = max(
+                    loads.get(name, 0.0) - peer_load.get(name, 0.0), 0.0
+                )
 
-            # 3. Advance live flows over the elapsed epoch.
-            if dt > 0:
-                finished: list[tuple[FluidTransfer, float]] = []
-                for fid, fc in self._flows.items():
-                    rate = self._rates.get(fid, 0.0)
-                    if rate <= 0:
-                        continue
-                    if rate == float("inf"):
-                        finished.append((fc, now - dt))
-                        continue
-                    delta = rate * dt / 8.0
-                    remaining = fc.wire_bytes - fc.advanced_bytes
-                    if delta >= remaining:
-                        # interpolated-finish: back out the sub-epoch instant
-                        self.bytes_advanced += remaining
-                        finished.append((fc, now - dt + remaining * 8.0 / rate))
-                    else:
-                        fc.advanced_bytes += delta
-                        self.bytes_advanced += delta
-                for fc, at_s in finished:
-                    self._finish_flow(fc, at_s)
+    def _advance_phase(self, now: float, dt: float) -> None:
+        # 3. Advance live flows over the elapsed epoch.
+        if dt > 0:
+            finished: list[tuple[FluidTransfer, float]] = []
+            for fid, fc in self._flows.items():
+                rate = self._rates.get(fid, 0.0)
+                if rate <= 0:
+                    continue
+                if rate == float("inf"):
+                    finished.append((fc, now - dt))
+                    continue
+                delta = rate * dt / 8.0
+                remaining = fc.wire_bytes - fc.advanced_bytes
+                if delta >= remaining:
+                    # interpolated-finish: back out the sub-epoch instant
+                    self.bytes_advanced += remaining
+                    finished.append((fc, now - dt + remaining * 8.0 / rate))
+                else:
+                    fc.advanced_bytes += delta
+                    self.bytes_advanced += delta
+            for fc, at_s in finished:
+                self._finish_flow(fc, at_s)
 
+    def _maybe_quiesce(self) -> None:
         if not self._flows:
             # quiesce: clear published loads and stop scheduling, so the
             # simulator can drain and a fluid-free run stays byte-identical

@@ -46,6 +46,14 @@ from .journey import (
 from .metrics import DEFAULT_BUCKET_BOUNDS, Histogram, MetricsSnapshot, Sample, labels_key
 from .observer import Observer
 from .perfetto import to_perfetto, write_perfetto
+from .prof import (
+    PROF_SUBSYSTEMS,
+    Profiler,
+    ProfileReport,
+    ProfSubsystem,
+    format_prof_table,
+    format_prof_top,
+)
 from .spans import NULL_SPAN, Span, SpanLog, SpanRecord, begin
 from .timeline import MetricsTimeline
 
@@ -85,6 +93,12 @@ __all__ = [
     "format_trigger_table",
     "to_perfetto",
     "write_perfetto",
+    "Profiler",
+    "ProfileReport",
+    "ProfSubsystem",
+    "PROF_SUBSYSTEMS",
+    "format_prof_table",
+    "format_prof_top",
     "to_json",
     "to_csv",
     "to_prometheus",

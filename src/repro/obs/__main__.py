@@ -16,6 +16,12 @@ dump (``--dump out.json``).
 
 ``python -m repro.obs summarize FILE`` re-summarizes a previously exported
 JSON snapshot — or, when FILE is a journey dump, prints its hop table.
+Snapshots from any schema version render: fields a version predates are
+simply skipped.
+
+``python -m repro.obs prof-top FILE`` prints the self-profile "top" table
+from a version-2 snapshot (or a bare profile document) — per-subsystem
+self/cumulative wall time plus named counters.
 """
 
 from __future__ import annotations
@@ -141,10 +147,12 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
     if "journeys" in doc:
         print(format_hop_table(doc))
         return 0
-    print(f"snapshot @ t={doc['sim_time_s']:.6f}s")
-    print(f"  samples: {len(doc['samples'])}")
+    version = doc.get("version", 1)
+    print(f"snapshot @ t={doc.get('sim_time_s', 0.0):.6f}s (schema v{version})")
+    samples = doc.get("samples", [])
+    print(f"  samples: {len(samples)}")
     totals: dict[str, float] = {}
-    for s in doc["samples"]:
+    for s in samples:
         totals[s["name"]] = totals.get(s["name"], 0.0) + s["value"]
     for name in sorted(totals):
         print(f"    {name:<28s} total={totals[name]:g}")
@@ -167,6 +175,28 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
                 f"  span {name:<18s} n={len(durs)} "
                 f"mean={sum(durs) / len(durs):.3e}s total={sum(durs):.3e}s"
             )
+    profile = doc.get("profile")
+    if profile is not None:
+        from .prof import format_prof_top
+
+        print("  " + format_prof_top(profile).replace("\n", "\n  "))
+    return 0
+
+
+def _cmd_prof_top(args: argparse.Namespace) -> int:
+    from .prof import format_prof_top
+
+    with open(args.file, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if "profile" not in doc and "subsystems" not in doc:
+        print(
+            f"{args.file}: no profile section (snapshot schema "
+            f"v{doc.get('version', 1)}; profiles need a hooked Profiler "
+            "and schema v2+)",
+            file=sys.stderr,
+        )
+        return 1
+    print(format_prof_top(doc))
     return 0
 
 
@@ -220,6 +250,14 @@ def main(argv: Optional[list[str]] = None) -> int:
     )
     summarize.add_argument("file")
     summarize.set_defaults(func=_cmd_summarize)
+
+    prof_top = sub.add_parser(
+        "prof-top",
+        help="print the self-profile top table from a v2 snapshot "
+             "or profile document",
+    )
+    prof_top.add_argument("file")
+    prof_top.set_defaults(func=_cmd_prof_top)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -208,6 +208,24 @@ CONTRACT: tuple[MetricSpec, ...] = (
         "sampled at snapshot time: fluid background load published to the "
         "directed channel (only while a hybrid engine is attached)",
     ),
+    # -- simulator self-profiling -------------------------------------------
+    MetricSpec(
+        "prof.calls", "counter", "frames", ("subsystem",),
+        "sampled at snapshot time: completed profiling frames per contracted "
+        "subsystem (only while a Profiler is hooked; see docs/observability.md "
+        "profiling section)",
+    ),
+    MetricSpec(
+        "prof.self_ns", "counter", "nanoseconds", ("subsystem",),
+        "sampled at snapshot time: wall-ns attributed to the subsystem "
+        "itself, excluding nested frames (machine-dependent; calls and "
+        "named counters are the deterministic part)",
+    ),
+    MetricSpec(
+        "prof.cum_ns", "counter", "nanoseconds", ("subsystem",),
+        "sampled at snapshot time: wall-ns from frame enter to exit, "
+        "including nested frames",
+    ),
     # -- histograms ---------------------------------------------------------
     MetricSpec(
         "net.packet_latency_s", "histogram", "seconds", ("host",),

@@ -42,6 +42,7 @@ def _labels_dict(key: tuple[tuple[str, str], ...]) -> dict[str, str]:
 def to_json(snap: MetricsSnapshot, indent: int = 2) -> str:  # taint: sink
     """The snapshot as one JSON document."""
     doc: dict[str, Any] = {
+        "version": snap.version,
         "sim_time_s": snap.sim_time_s,
         "samples": [
             {"name": s.name, "labels": _labels_dict(s.labels), "value": s.value}
@@ -62,6 +63,8 @@ def to_json(snap: MetricsSnapshot, indent: int = 2) -> str:  # taint: sink
             for r in snap.spans
         ],
     }
+    if snap.profile is not None:
+        doc["profile"] = snap.profile
     return json.dumps(doc, indent=indent, sort_keys=False)
 
 

@@ -347,6 +347,9 @@ class JourneyRecorder:
         self._intent: dict[tuple[str, HeaderTuple], HeaderTuple] = {}
         self._intent_armed = False
         self.events_recorded = 0
+        #: opt-in self-profiler (repro.obs.prof.Profiler); None = off and
+        #: the _emit hook is statically dead.
+        self._prof = None
 
     @property
     def never_records(self) -> bool:
@@ -430,18 +433,26 @@ class JourneyRecorder:
     def _emit(
         self, kind: str, where: str, packet: "Packet", **detail: Any
     ) -> JourneyEvent:
-        ev = JourneyEvent(
-            self.sim.now, kind, where, packet.uid, packet.content_tag, detail
-        )
-        self.events_recorded += 1
-        if self.wants(packet):
-            journey = self._journeys.get(ev.content_tag)
-            if journey is None:
-                journey = self._journeys[ev.content_tag] = Journey(ev.content_tag)
-            journey.events.append(ev)
-        if self.flight is not None:
-            self.flight.observe(ev)
-        return ev
+        prof = self._prof
+        if prof is not None:
+            prof.enter("obs.hook")
+            prof.count("obs.hook", "journey_emit")
+        try:
+            ev = JourneyEvent(
+                self.sim.now, kind, where, packet.uid, packet.content_tag, detail
+            )
+            self.events_recorded += 1
+            if self.wants(packet):
+                journey = self._journeys.get(ev.content_tag)
+                if journey is None:
+                    journey = self._journeys[ev.content_tag] = Journey(ev.content_tag)
+                journey.events.append(ev)
+            if self.flight is not None:
+                self.flight.observe(ev)
+            return ev
+        finally:
+            if prof is not None:
+                prof.exit()
 
     # -- intent (the MC's planned rewrite chains) ---------------------------
     def arm_intent(self, mic: "MimicController") -> int:

@@ -159,7 +159,16 @@ class MetricsSnapshot:
     ``samples`` covers counters/gauges; ``histograms`` maps
     ``(name, labels)`` to summary dicts; ``spans`` carries the completed
     span records.  Produced by :meth:`repro.obs.Observer.snapshot`.
+
+    ``version`` stamps the export schema (2 since the self-profiling
+    layer; version-1 documents predate the stamp entirely and consumers
+    must treat a missing key as 1).  ``profile`` is the optional
+    :meth:`repro.obs.prof.ProfileReport.to_doc` section, present only when
+    a profiler was hooked at snapshot time.
     """
+
+    #: current snapshot export schema version
+    VERSION = 2
 
     sim_time_s: float
     samples: list[Sample] = field(default_factory=list)
@@ -167,6 +176,8 @@ class MetricsSnapshot:
         default_factory=dict
     )
     spans: list = field(default_factory=list)  # list[SpanRecord]
+    version: int = VERSION
+    profile: Optional[dict[str, Any]] = None
 
     # -- building ---------------------------------------------------------
     def add(self, name: str, value: float, **labels: Any) -> None:

@@ -57,6 +57,10 @@ class Observer:
         self._histograms: dict[tuple[str, tuple[tuple[str, str], ...]], Histogram] = {}
         self.timeline: Optional[MetricsTimeline] = None
         self.journey: Optional["JourneyRecorder"] = None
+        #: opt-in self-profiler (repro.obs.prof.Profiler); set by
+        #: Profiler.hook().  None = off: the hot-path hook below stays a
+        #: single is-None check and snapshots carry no profile section.
+        self.profiler = None
 
     # -- construction -------------------------------------------------------
     @classmethod
@@ -107,11 +111,19 @@ class Observer:
     # -- hot-path hooks -----------------------------------------------------
     def on_host_rx(self, host: "Host", packet: "Packet") -> None:
         """Observe one delivered packet's source-to-sink latency."""
-        created = getattr(packet, "created_at", None)
-        if created is not None:
-            self.histogram("net.packet_latency_s", host=host.name).observe(
-                self.sim.now - created
-            )
+        prof = self.profiler
+        if prof is not None:
+            prof.enter("obs.hook")
+            prof.count("obs.hook", "host_rx")
+        try:
+            created = getattr(packet, "created_at", None)
+            if created is not None:
+                self.histogram("net.packet_latency_s", host=host.name).observe(
+                    self.sim.now - created
+                )
+        finally:
+            if prof is not None:
+                prof.exit()
 
     # -- timeline -----------------------------------------------------------
     def start_timeline(self, period_s: float) -> MetricsTimeline:
@@ -171,6 +183,7 @@ class Observer:
         self._snapshot_nodes(snap)
         self._snapshot_control(snap)
         self._snapshot_fluid(snap)
+        self._snapshot_prof(snap)
         for (name, key), hist in sorted(self._histograms.items()):
             snap.histograms[(name, key)] = hist.summary()
         snap.spans = list(self.spans)
@@ -232,6 +245,19 @@ class Observer:
         snap.add("fluid.handoff.debited.bytes", eng.debited_bytes)
         for ch in self.channels():
             snap.add("fluid.link.load_bps", ch.fluid_load_bps, channel=ch.name)
+
+    def _snapshot_prof(self, snap: MetricsSnapshot) -> None:
+        # Self-profiling metrics, present only when a Profiler is hooked —
+        # an unprofiled run's snapshot stays exactly what it was before.
+        prof = self.profiler
+        if prof is None:
+            return
+        report = prof.report()
+        for row in report.subsystems:
+            snap.add("prof.calls", row["calls"], subsystem=row["name"])
+            snap.add("prof.self_ns", row["self_ns"], subsystem=row["name"])
+            snap.add("prof.cum_ns", row["cum_ns"], subsystem=row["name"])
+        snap.profile = report.to_doc()
 
     def _snapshot_control(self, snap: MetricsSnapshot) -> None:
         if self.controller is not None:

@@ -13,7 +13,11 @@ with
   death, divergence, foreign drop, host tx/rx),
 * ``s``/``t``/``f`` flow arrows stitching one content tag's hops across
   tracks, so a packet's whole journey is clickable end-to-end even though
-  every header on the wire changed.
+  every header on the wire changed,
+* ``C`` (counter) tracks from a ``profile`` section, when the dump carries
+  one: heap depth and per-subsystem cumulative wall-ms sampled every Nth
+  dispatch by :class:`repro.obs.prof.Profiler`, plotted against sim time
+  alongside the journeys.
 
 Timestamps are microseconds of sim time, as the format requires.
 """
@@ -163,7 +167,36 @@ def to_perfetto(source: Union[JourneyRecorder, dict[str, Any]]) -> dict[str, Any
                     "name": f"tag {tag}", "ts": ts,
                 })
 
+    profile = doc.get("profile")
+    if profile:
+        _profile_counters(profile, events, tracks)
+
     return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _profile_counters(
+    profile: dict[str, Any], events: list[dict[str, Any]], tracks: _Tracks
+) -> None:
+    """Emit ``C`` counter events from a profile section's dispatch samples."""
+    samples = profile.get("samples", [])
+    if not samples:
+        return
+    pid = tracks.pid("self-profile")
+    for sample in samples:
+        ts = sample["sim_time_s"] * _US
+        events.append({
+            "ph": "C", "pid": pid, "tid": 0, "name": "heap_depth",
+            "ts": ts, "args": {"depth": sample["heap_depth"]},
+        })
+        events.append({
+            "ph": "C", "pid": pid, "tid": 0, "name": "dispatches",
+            "ts": ts, "args": {"count": sample["dispatches"]},
+        })
+        for name, cum_ns in sorted(sample.get("cum_ns", {}).items()):
+            events.append({
+                "ph": "C", "pid": pid, "tid": 0, "name": f"cum_ms.{name}",
+                "ts": ts, "args": {"ms": cum_ns / 1e6},
+            })
 
 
 def write_perfetto(  # taint: sink

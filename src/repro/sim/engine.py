@@ -355,6 +355,9 @@ class Simulator:
         #: opt-in hazard detector (repro.analysis.sanitizer); None = off,
         #: and every hook below is a statically-dead branch.
         self._sanitizer: Optional[Any] = None
+        #: opt-in self-profiler (repro.obs.prof.Profiler); None = off, same
+        #: statically-dead-hook contract as the sanitizer.
+        self._prof: Optional[Any] = None
 
     # ------------------------------------------------------------------
     @property
@@ -426,17 +429,27 @@ class Simulator:
         """Process the next event; returns its time."""
         if not self._heap:
             raise SimulationError("no more events")
+        san = self._sanitizer
+        prof = self._prof
+        if san is None and prof is None:
+            when, _seq, event = heapq.heappop(self._heap)
+            self._now = when
+            event._run_callbacks()
+            return when
+        depth = len(self._heap)
         when, _seq, event = heapq.heappop(self._heap)
         self._now = when
-        san = self._sanitizer
-        if san is None:
-            event._run_callbacks()
-        else:
+        if prof is not None:
+            prof._on_step(when, event, depth)
+        if san is not None:
             san._on_step(when, event)
-            try:
-                event._run_callbacks()
-            finally:
+        try:
+            event._run_callbacks()
+        finally:
+            if san is not None:
                 san._on_step_end()
+            if prof is not None:
+                prof._on_step_end()
         return when
 
     def peek(self) -> float:
@@ -450,6 +463,16 @@ class Simulator:
         until it is processed, returning its value).  ``max_events`` guards
         against runaway simulations.
         """
+        prof = self._prof
+        if prof is None:
+            return self._run(until, max_events)
+        prof.enter("sim.run")
+        try:
+            return self._run(until, max_events)
+        finally:
+            prof.exit()
+
+    def _run(self, until: Optional[float | Event], max_events: int) -> Any:
         steps = 0
         if isinstance(until, Event):
             target = until

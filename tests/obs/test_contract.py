@@ -18,6 +18,7 @@ from repro.obs import (
     CONTRACT,
     JOURNEY_EVENTS,
     Observer,
+    Profiler,
     contract_names,
     format_contract_table,
     format_journey_table,
@@ -110,6 +111,8 @@ def _observed_names() -> set[str]:
         )
     obs = Observer.attach(net)
     obs.start_timeline(0.001)
+    # Self-profiler: the prof.* contract entries only fire while hooked.
+    Profiler.attach(net)
     # Hybrid leg: the same fabric carries one fluid transfer and a short
     # packet-peer reservation, so the fluid-side names are exercised too.
     eng = HybridEngine(net, epoch_s=0.002)
