@@ -4,7 +4,7 @@ PYTHON ?= python
 # Same invocation the CI tier-1 gate uses (src/ layout, no install needed).
 PYPATH = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-verbose lint verify obs-demo journey-demo chaos-demo prof-demo trajectory bench bench-quick bench-scale figures quick-figures examples clean
+.PHONY: install test test-verbose lint verify obs-demo journey-demo chaos-demo prof-demo trajectory tournament bench bench-quick bench-scale figures quick-figures examples clean
 
 install:
 	pip install -e . --no-build-isolation || pip install -e .
@@ -53,6 +53,12 @@ chaos-demo:
 	$(PYPATH) $(PYTHON) -m repro.faults run --seed 0 --timeline
 	$(PYPATH) $(PYTHON) -m repro.faults scorecard --seed 0 \
 		-o benchmarks/results/chaos_scorecard.json
+
+# Strategy-vs-attack tournament, quick slice (same as the CI job).
+tournament:
+	@mkdir -p benchmarks/results
+	$(PYPATH) $(PYTHON) -m repro.attacks tournament --quick --seed 0 \
+		-o benchmarks/results/tournament_frontier.json
 
 bench:
 	$(PYPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only

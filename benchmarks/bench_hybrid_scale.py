@@ -25,8 +25,11 @@ import time
 from repro.obs.exporters import to_json
 from repro.obs.prof import format_prof_top
 from repro.bench import run_hybrid_scenario
+from repro.bench.hybrid_scenario import FRVM_LANES
 
 QUICK = bool(os.environ.get("BENCH_QUICK"))
+# Anonymity traffic model to apply at scale ("mic" | "tarn" | "frvm").
+STRATEGY = os.environ.get("BENCH_STRATEGY", "mic")
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 TRAJECTORY_DIR = pathlib.Path(__file__).parent / "trajectory"
 
@@ -45,15 +48,16 @@ def test_hybrid_scale(benchmark):
         lambda: run_hybrid_scenario(
             k=K, channels=CHANNELS, payload_bytes=PAYLOAD_BYTES,
             sample_rate=SAMPLE_RATE, seed=SEED, observe=True, profile=True,
-            time_limit_s=120.0,
+            time_limit_s=120.0, strategy=STRATEGY,
         ),
         rounds=1, iterations=1,
     )
     wall_s = time.perf_counter() - t0
     peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024
 
-    # Every channel ran to completion inside the simulated-time limit.
-    assert r.fluid_flows + r.packet_flows == CHANNELS
+    # Every lane ran to completion inside the simulated-time limit.
+    assert r.lanes == CHANNELS * (FRVM_LANES if STRATEGY == "frvm" else 1)
+    assert r.fluid_flows + r.packet_flows == r.lanes
     assert r.fluid_finished == r.fluid_flows
     assert r.packet_finished == r.packet_flows
     assert r.packet_flows > 0, "sampling produced no packet-level channels"
@@ -74,7 +78,7 @@ def test_hybrid_scale(benchmark):
         "quick": QUICK,
         "params": {
             "k": K, "channels": CHANNELS, "payload_bytes": PAYLOAD_BYTES,
-            "sample_rate": SAMPLE_RATE, "seed": SEED,
+            "sample_rate": SAMPLE_RATE, "seed": SEED, "strategy": STRATEGY,
         },
         "fabric": {"hosts": r.hosts, "switches": r.switches},
         "wall_s": round(wall_s, 3),

@@ -43,11 +43,22 @@ def verify_intents(net: Network, mic, report: VerificationReport) -> None:
         for plan in channel.flows:
             report.checked_flows += 1
             _verify_maga(mic, channel, plan, report)
-            fwd = (plan.walk, plan.mn_positions, plan.fwd_addrs)
-            rev_walk = list(reversed(plan.walk))
-            rev_mns = sorted(len(plan.walk) - 1 - p for p in plan.mn_positions)
-            rev = (rev_walk, rev_mns, plan.rev_addrs)
-            for walk, mns, addrs in (fwd, rev):
+            # The anonymity strategy names the views to replay (forward,
+            # reverse, plus any alias lanes under multiplexing); fall back
+            # to the classic fwd/rev pair for strategy-less controllers.
+            strategy = getattr(mic, "strategy", None)
+            if strategy is not None:
+                views = strategy.replay_views(plan)
+            else:
+                rev_walk = list(reversed(plan.walk))
+                rev_mns = sorted(
+                    len(plan.walk) - 1 - p for p in plan.mn_positions
+                )
+                views = [
+                    (plan.walk, plan.mn_positions, plan.fwd_addrs),
+                    (rev_walk, rev_mns, plan.rev_addrs),
+                ]
+            for walk, mns, addrs in views:
                 _replay_direction(
                     net, mic, channel, plan, walk, addrs, tables, neighbors,
                     report,

@@ -1,0 +1,26 @@
+"""Pluggable anonymity strategies on MIC's data plane.
+
+See docs/anonymity.md for the contract and the strategy/attack tables.
+"""
+
+from .base import (
+    STRATEGIES,
+    Strategy,
+    format_strategy_table,
+    get_strategy,
+    register_strategy,
+)
+from .frvm import FrvmMultiplex
+from .micstrategy import MicRewrite
+from .tarn import TarnHopping
+
+__all__ = [
+    "STRATEGIES",
+    "FrvmMultiplex",
+    "MicRewrite",
+    "Strategy",
+    "TarnHopping",
+    "format_strategy_table",
+    "get_strategy",
+    "register_strategy",
+]

@@ -1,0 +1,18 @@
+"""``python -m repro.anonymity``: print the strategy contract table.
+
+The output is the exact markdown embedded in docs/anonymity.md between
+the ``strategy-table`` markers; a doc-diff test keeps the two in sync.
+"""
+
+import sys
+
+from .base import format_strategy_table
+
+
+def main(argv=None) -> int:
+    print(format_strategy_table())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

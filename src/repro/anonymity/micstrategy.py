@@ -1,0 +1,26 @@
+"""MIC's own mechanism as a Strategy: static per-segment rewriting.
+
+This is the identity point of the strategy layer: every draw and every
+compiled rule comes from the base class, which carries the historical
+``MimicController`` logic unchanged — ``tests/anonymity`` proves the
+compiled intents are byte-identical to the pre-refactor controller.
+"""
+
+from __future__ import annotations
+
+from .base import Strategy, register_strategy
+
+__all__ = ["MicRewrite"]
+
+
+@register_strategy
+class MicRewrite(Strategy):
+    """Static m-addresses along an MC-planned walk (the paper's design)."""
+
+    name = "mic"
+    source = "MIC (ICPP'16)"
+    mechanism = (
+        "static per-segment header rewriting at Mimic Nodes; "
+        "partial-multicast decoys"
+    )
+    knobs = "`n_mns`, `decoys`"

@@ -1,4 +1,10 @@
-"""Adversary machinery and anonymity metrics for the security analysis."""
+"""Adversary machinery and anonymity metrics for the security analysis.
+
+Beyond the per-primitive analysis tools, the package fields a registered
+adversary suite (:mod:`.suite`) behind the :class:`Attack` protocol and a
+strategy × attack tournament (:mod:`.tournament`) that emits the
+anonymity-vs-overhead frontier — ``python -m repro.attacks tournament``.
+"""
 
 from .anonymity_set import (
     EmpiricalAnonymity,
@@ -22,12 +28,60 @@ from .metrics import (
     normalized_entropy,
     posterior_entropy,
 )
-from .observer import Observation, ObservationPoint, node_vantage, observe_switches
+from .base import (
+    ATTACKS,
+    Attack,
+    AttackContext,
+    AttackResult,
+    ChannelTruth,
+    format_attack_table,
+    get_attack,
+    register_attack,
+)
+from .observer import (
+    Observation,
+    ObservationPoint,
+    host_outbound,
+    node_vantage,
+    observe_switches,
+)
 from .size_analysis import FlowSizeEstimate, estimate_flow_sizes, size_estimate_error
+from .suite import (
+    ChurnExploit,
+    MnCorrelation,
+    SizeFingerprint,
+    TimingCorrelation,
+    Watermark,
+)
 from .targeting import TargetRanking, rank_targets
-from .timing import correlate_by_timing, interarrival_signature, rate_similarity
+from .timing import (
+    correlate_by_timing,
+    correlate_timing_with_truth,
+    interarrival_signature,
+    rate_similarity,
+)
+from .tournament import frontier_json, run_scenario, run_tournament, score_strategy
 
 __all__ = [
+    "ATTACKS",
+    "Attack",
+    "AttackContext",
+    "AttackResult",
+    "ChannelTruth",
+    "ChurnExploit",
+    "MnCorrelation",
+    "SizeFingerprint",
+    "TimingCorrelation",
+    "Watermark",
+    "format_attack_table",
+    "frontier_json",
+    "get_attack",
+    "host_outbound",
+    "register_attack",
+    "run_scenario",
+    "run_tournament",
+    "score_strategy",
+    "correlate_timing_with_truth",
     "CorrelationResult",
     "GroundTruthCorrelation",
     "correlate_with_truth",

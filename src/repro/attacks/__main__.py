@@ -1,0 +1,101 @@
+"""CLI for the adversary layer.
+
+``python -m repro.attacks tournament`` runs every anonymity strategy ×
+every registered attack on the seeded fat-tree scenario and prints (or
+writes, with ``-o``) the deterministic anonymity-vs-overhead frontier
+JSON — the CI artifact.  ``--quick`` keeps it to the fat_tree(4) round;
+the default also runs fat_tree(8) with a 20-bit m-address space.
+
+``python -m repro.attacks table`` prints the attack contract table (the
+markdown ``docs/anonymity.md`` embeds).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..anonymity import STRATEGIES
+from .base import ATTACKS, format_attack_table
+from .tournament import frontier_json, run_tournament
+
+
+def _cmd_tournament(args: argparse.Namespace) -> int:
+    frontier = run_tournament(
+        strategies=args.strategies,
+        seed=args.seed,
+        quick=args.quick,
+        attacks=args.attacks,
+    )
+    text = frontier_json(frontier)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    if not args.no_summary:
+        print(_summary(frontier), file=sys.stderr)
+    return 0
+
+
+def _summary(frontier: dict) -> str:
+    lines = ["tournament frontier:"]
+    for rnd in frontier["rounds"]:
+        lines.append(f"  {rnd['topology']} (mn_bits={rnd['mn_bits']}):")
+        for name, entry in sorted(rnd["strategies"].items()):
+            ov = entry["overhead"]
+            accs = ", ".join(
+                f"{a}={r['accuracy']:.3f}"
+                for a, r in sorted(entry["attacks"].items())
+            )
+            lines.append(
+                f"    {name:<6s} rules={ov['rules_installed']} "
+                f"setup={ov['setup_latency_s_mean']:.4f}s "
+                f"rot_installs={ov['rotation_installs']} "
+                f"avail={entry['availability']:.3f}"
+            )
+            lines.append(f"      {accs}")
+    return "\n".join(lines)
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    print(format_attack_table())
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.attacks",
+        description="Adversary tournament and the anonymity frontier.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_t = sub.add_parser(
+        "tournament",
+        help="run every strategy x attack, emit the frontier JSON",
+    )
+    p_t.add_argument("--seed", type=int, default=0, help="scenario seed")
+    p_t.add_argument("--quick", action="store_true",
+                     help="fat_tree(4) round only (the CI slice)")
+    p_t.add_argument("--strategies", nargs="+", metavar="NAME",
+                     choices=sorted(STRATEGIES),
+                     help="strategy subset (default: all registered)")
+    p_t.add_argument("--attacks", nargs="+", metavar="NAME",
+                     choices=sorted(ATTACKS),
+                     help="attack subset (default: all registered)")
+    p_t.add_argument("-o", "--output",
+                     help="write frontier JSON here instead of stdout")
+    p_t.add_argument("--no-summary", action="store_true",
+                     help="suppress the human-readable stderr summary")
+    p_t.set_defaults(fn=_cmd_tournament)
+
+    p_tab = sub.add_parser("table", help="print the attack contract table")
+    p_tab.set_defaults(fn=_cmd_table)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

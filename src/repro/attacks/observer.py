@@ -15,7 +15,13 @@ from typing import Optional
 from ..net.network import Network
 from ..net.packet import Packet
 
-__all__ = ["Observation", "ObservationPoint", "observe_switches"]
+__all__ = [
+    "Observation",
+    "ObservationPoint",
+    "host_outbound",
+    "node_vantage",
+    "observe_switches",
+]
 
 
 @dataclass(frozen=True)
@@ -114,4 +120,23 @@ def node_vantage(point: ObservationPoint, node_ip: str) -> ObservationPoint:
             projected.observations.append(replace(obs, direction="in"))
         elif obs.src_ip == node_ip:
             projected.observations.append(obs)
+    return projected
+
+
+def host_outbound(point: ObservationPoint, node_ip: str) -> ObservationPoint:
+    """Project an edge-switch tap onto what one attached host *sends*.
+
+    Packets entering the switch sourced from ``node_ip`` become the
+    projection's ingress — the view a mirror on the host's access port
+    gives an attacker sizing up that host's outbound traffic before any
+    MN has rewritten it.
+    """
+    projected = ObservationPoint.__new__(ObservationPoint)
+    projected.network = point.network
+    projected.switch_name = f"{point.switch_name}<-{node_ip}"
+    projected.observations = [
+        obs
+        for obs in point.observations
+        if obs.direction == "in" and obs.src_ip == node_ip
+    ]
     return projected

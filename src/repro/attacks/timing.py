@@ -16,13 +16,17 @@ from __future__ import annotations
 
 import math
 from collections import defaultdict
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
-from .correlation import CorrelationResult
+from .correlation import CorrelationResult, GroundTruthCorrelation
 from .observer import Observation, ObservationPoint
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.journey import Journey
 
 __all__ = [
     "correlate_by_timing",
+    "correlate_timing_with_truth",
     "interarrival_signature",
     "rate_similarity",
 ]
@@ -68,6 +72,62 @@ def correlate_by_timing(
         ambiguous=ambiguous,
         total_ingress=len(ingress),
         mean_candidates=mean_candidates,
+    )
+
+
+def correlate_timing_with_truth(
+    point: ObservationPoint,
+    journeys: dict[int, "Journey"],
+    min_delay_s: float = 0.0,
+    max_delay_s: float = 2e-3,
+    size_tolerance: int = 64,
+) -> GroundTruthCorrelation:
+    """Score the timing/size attacker against journey ground truth.
+
+    Candidates are built exactly as in :func:`correlate_by_timing` (egress
+    within the delay window, size within tolerance — *no* content access),
+    then labelled with the journey recorder's delivered lineages exactly
+    like :func:`~repro.attacks.correlation.correlate_with_truth`: a
+    candidate is true when its packet instance lies on a delivered lineage
+    of the *ingress* packet's journey.  Returns the same structure, so the
+    content and timing attackers compare on one axis.
+    """
+    egress = sorted(point.egress(), key=lambda o: o.time)
+    true_uids: dict[int, frozenset[int]] = {
+        tag: frozenset(j.delivered_uids()) for tag, j in journeys.items()
+    }
+    matched = 0
+    linkable = 0
+    decoy_candidates = 0
+    true_candidates = 0
+    hit_probs: list[float] = []
+    ingress = point.ingress()
+    for obs in ingress:
+        lo = obs.time + min_delay_s
+        hi = obs.time + max_delay_s
+        candidates = [
+            e
+            for e in egress
+            if lo <= e.time <= hi and abs(e.size - obs.size) <= size_tolerance
+        ]
+        if not candidates:
+            continue
+        matched += 1
+        delivered = true_uids.get(obs.content_tag, frozenset())
+        hits = sum(1 for e in candidates if e.uid in delivered)
+        true_candidates += hits
+        decoy_candidates += len(candidates) - hits
+        if hits:
+            linkable += 1
+        hit_probs.append(hits / len(candidates))
+    expected = sum(hit_probs) / len(hit_probs) if hit_probs else 0.0
+    return GroundTruthCorrelation(
+        total_ingress=len(ingress),
+        matched=matched,
+        linkable=linkable,
+        expected_accuracy=expected,
+        decoy_candidates=decoy_candidates,
+        true_candidates=true_candidates,
     )
 
 

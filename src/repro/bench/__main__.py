@@ -8,6 +8,8 @@ Usage::
     python -m repro.bench --list
     python -m repro.bench trajectory ...  # perf-trajectory tools
                                           # (see repro.bench.trajectory)
+    python -m repro.bench hybrid --strategy tarn   # hybrid scale scenario
+                                          # under an anonymity traffic model
 
 Each experiment prints the paper-figure data table to stdout; pass
 ``--save DIR`` to also write the tables as text files (and, for figures,
@@ -56,6 +58,62 @@ EXPERIMENTS = {
 }
 
 
+def _hybrid_main(argv: list[str]) -> int:
+    """``python -m repro.bench hybrid``: one hybrid scale run, summarized."""
+    from repro.anonymity import STRATEGIES
+
+    from .hybrid_scenario import run_hybrid_scenario
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench hybrid",
+        description="Run the hybrid fluid/packet scale scenario once.",
+    )
+    parser.add_argument("--k", type=int, default=8, help="fat-tree arity")
+    parser.add_argument("--channels", type=int, default=500)
+    parser.add_argument("--payload-bytes", type=int, default=200_000)
+    parser.add_argument("--sample-rate", type=float, default=0.01,
+                        help="packet-fidelity sampling rate")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--strategy", default="mic",
+                        choices=sorted(STRATEGIES),
+                        help="anonymity traffic model to apply (default mic)")
+    parser.add_argument("--time-limit", type=float, default=60.0,
+                        help="simulated-seconds ceiling")
+    args = parser.parse_args(argv)
+
+    t0 = time.perf_counter()
+    r = run_hybrid_scenario(
+        k=args.k, channels=args.channels, payload_bytes=args.payload_bytes,
+        sample_rate=args.sample_rate, seed=args.seed,
+        time_limit_s=args.time_limit, strategy=args.strategy,
+    )
+    wall_s = time.perf_counter() - t0
+    print(
+        f"hybrid scale: fat_tree({r.k}) strategy={r.strategy} "
+        f"{r.channels} channels -> {r.lanes} lanes "
+        f"({r.packet_flows} packet / {r.fluid_flows} fluid)"
+    )
+    print(
+        f"  finished: {r.fluid_finished}/{r.fluid_flows} fluid, "
+        f"{r.packet_finished}/{r.packet_flows} packet "
+        f"in {r.sim_time_s:.2f} sim-s ({wall_s:.1f}s wall)"
+    )
+    print(
+        f"  overhead: {r.rules_installed} rules installed, "
+        f"{r.rotations} rotations, {r.epochs} epochs, "
+        f"{r.resolves} solver resolves"
+    )
+    print(
+        f"  goodput: fluid mean {r.mean_goodput_bps('fluid') / 1e6:.2f} Mbps, "
+        f"packet mean {r.mean_goodput_bps('packet') / 1e6:.2f} Mbps"
+    )
+    done = (
+        r.fluid_finished == r.fluid_flows
+        and r.packet_finished == r.packet_flows
+    )
+    return 0 if done else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -63,6 +121,8 @@ def main(argv: list[str] | None = None) -> int:
         from .trajectory import main as trajectory_main
 
         return trajectory_main(argv[1:])
+    if argv and argv[0] == "hybrid":
+        return _hybrid_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the MIC paper's evaluation figures.",

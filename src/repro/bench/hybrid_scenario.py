@@ -67,7 +67,9 @@ def fat_tree_path(k: int, src: str, dst: str, salt: object = 0) -> list[str]:
     return [src, se, f"p{spod}a{agg}", f"c{core}", f"p{dpod}a{agg}", de, dst]
 
 
-def _install_path_rules(net: Network, path: list[str], priority: int = 10) -> int:
+def _install_path_rules(
+    net: Network, path: list[str], priority: int = 10, cookie: int = 0
+) -> int:
     """Static forward+reverse unicast rules along ``path``; returns installs."""
     src_ip = net.host(path[0]).ip
     dst_ip = net.host(path[-1]).ip
@@ -78,10 +80,19 @@ def _install_path_rules(net: Network, path: list[str], priority: int = 10) -> in
     ):
         for here, nxt in zip(hops[1:-1], hops[2:]):
             net.switch(here).table.install(
-                FlowEntry(match, [Output(net.port(here, nxt))], priority=priority)
+                FlowEntry(match, [Output(net.port(here, nxt))],
+                          priority=priority, cookie=cookie)
             )
             installed += 1
     return installed
+
+
+def _remove_path_rules(net: Network, path: list[str], cookie: int) -> int:
+    """Remove a segment's cookie-tagged rules (the rotation's removal leg)."""
+    removed = 0
+    for node in path[1:-1]:
+        removed += net.switch(node).table.remove_by_cookie(cookie)
+    return removed
 
 
 @dataclass
@@ -92,6 +103,13 @@ class HybridScenarioResult:
     channels: int
     payload_bytes: int
     sample_rate: float
+    #: anonymity strategy the traffic model emulates ("mic"|"tarn"|"frvm")
+    strategy: str = "mic"
+    #: lane count the strategy expanded the channels into (== channels for
+    #: mic/tarn; channels x FRVM_LANES under frvm)
+    lanes: int = 0
+    #: address/path re-draws performed (tarn's rotation churn; 0 otherwise)
+    rotations: int = 0
     hosts: int = 0
     switches: int = 0
     fluid_flows: int = 0
@@ -120,6 +138,12 @@ class HybridScenarioResult:
         return sum(vals.values()) / len(vals) if vals else 0.0
 
 
+#: frvm's lane fan-out at hybrid scale (k aliases → k parallel lanes)
+FRVM_LANES = 2
+#: tarn's sequential re-draws per lane (each segment takes a fresh path)
+TARN_SEGMENTS = 3
+
+
 def run_hybrid_scenario(
     k: int = 16,
     channels: int = 10_000,
@@ -130,6 +154,7 @@ def run_hybrid_scenario(
     observe: bool = False,
     profile: bool = False,
     time_limit_s: float = 60.0,
+    strategy: str = "mic",
 ) -> HybridScenarioResult:
     """Drive ``channels`` concurrent transfers over fat_tree(k) in hybrid mode.
 
@@ -138,13 +163,30 @@ def run_hybrid_scenario(
     reservation) and which advance as fluid.  Runs until every transfer
     finishes or ``time_limit_s`` simulated seconds elapse.
 
+    ``strategy`` applies an anonymity strategy's *traffic model* at scale
+    (the control plane itself is not stood up — fat_tree(16) with 10k
+    channels is beyond reactive wiring):
+
+    * ``"mic"`` — one lane per channel, one path (the baseline);
+    * ``"frvm"`` — every channel splits its payload across ``FRVM_LANES``
+      parallel lanes with independently salted paths (alias striping);
+    * ``"tarn"`` — every lane sends ``TARN_SEGMENTS`` sequential payload
+      segments, each over a freshly salted path (timed rotation); the
+      packet-level subset re-installs and removes its rules per segment,
+      so the rotation's rule churn shows up in ``rules_installed``.
+
     With ``profile=True`` a :class:`repro.obs.Profiler` is hooked for the
     run — setup attributed to ``scenario.setup``, the run loop to the
     contracted subsystems — and the report lands in ``result.profile``.
     """
     import random
 
+    from ..anonymity import STRATEGIES
     from ..obs.prof import Profiler
+
+    if strategy not in STRATEGIES:
+        known = ", ".join(sorted(STRATEGIES))
+        raise ValueError(f"unknown strategy {strategy!r} (known: {known})")
 
     prof = Profiler(sample_every=1000) if profile else None
     if prof is not None:
@@ -156,59 +198,144 @@ def run_hybrid_scenario(
     eng = HybridEngine(net, epoch_s=epoch_s, sample_rate=sample_rate)
     result = HybridScenarioResult(
         k=k, channels=channels, payload_bytes=payload_bytes,
-        sample_rate=sample_rate,
+        sample_rate=sample_rate, strategy=strategy,
         hosts=len(topo.hosts()), switches=len(topo.switches()),
         observer=obs,
     )
 
+    def _split(nbytes: int, parts: int) -> list[int]:
+        parts = max(1, min(parts, nbytes))
+        base = nbytes // parts
+        return [base] * (parts - 1) + [nbytes - base * (parts - 1)]
+
     rng = random.Random(seed)
     hosts = topo.hosts()
-    packet_jobs: list[tuple[str, str, str, list[str]]] = []
+    # (lane_fid, src, dst, [segment paths], bytes)
+    packet_jobs: list[tuple[str, str, str, list[list[str]], int]] = []
+    fluid_rotors: list[tuple[str, list[list[str]], int]] = []
     fluid_handles = []
     for i in range(channels):
         src, dst = rng.sample(hosts, 2)
         fid = f"ch-{i}"
-        path = fat_tree_path(k, src, dst, salt=fid)
-        if eng.fidelity_for(fid, path) == "packet":
-            packet_jobs.append((fid, src, dst, path))
+        if strategy == "frvm":
+            lane_jobs = [
+                (f"{fid}/l{lane}", b)
+                for lane, b in enumerate(_split(payload_bytes, FRVM_LANES))
+            ]
         else:
-            fluid_handles.append(eng.start_flow(path, payload_bytes, flow_id=fid))
-    result.fluid_flows = eng.live_flows
+            lane_jobs = [(fid, payload_bytes)]
+        for lane_fid, nbytes in lane_jobs:
+            if strategy == "tarn":
+                seg_paths = [
+                    fat_tree_path(k, src, dst, salt=f"{lane_fid}:rot{s}")
+                    for s in range(len(_split(nbytes, TARN_SEGMENTS)))
+                ]
+            else:
+                seg_paths = [fat_tree_path(k, src, dst, salt=lane_fid)]
+            if eng.fidelity_for(lane_fid, seg_paths[0]) == "packet":
+                packet_jobs.append((lane_fid, src, dst, seg_paths, nbytes))
+            elif len(seg_paths) == 1:
+                fluid_handles.append(
+                    eng.start_flow(seg_paths[0], nbytes, flow_id=lane_fid)
+                )
+            else:
+                fluid_rotors.append((lane_fid, seg_paths, nbytes))
+    result.lanes = (
+        eng.live_flows + len(fluid_rotors) + len(packet_jobs)
+    )
+    result.fluid_flows = eng.live_flows + len(fluid_rotors)
     result.packet_flows = len(packet_jobs)
 
-    # Packet subset: static rules + one TCP transfer per job, each holding
-    # a peer reservation at the fidelity boundary for its lifetime.
-    wired_pairs: set[tuple[str, str]] = set()
-    for fid, src, dst, path in packet_jobs:
-        pair = (src, dst) if src < dst else (dst, src)
-        if pair not in wired_pairs:
-            wired_pairs.add(pair)
-            result.rules_installed += _install_path_rules(net, path)
+    # Fluid rotation lanes: each segment is its own fluid flow over a
+    # freshly salted path, started when the previous segment drains.
+    rotor_state = {"finished": 0}
 
-    def transfer(fid: str, src: str, dst: str, path: list[str], port: int):
-        server_stack = TcpStack(net.host(dst))
-        listener = server_stack.listen(port)
-        holder: dict = {}
-
-        def acceptor():
-            holder["server"] = yield listener.accept()
-
-        net.sim.process(acceptor(), name=f"hyb.accept.{fid}")
-        client_stack = TcpStack(net.host(src))
-        conn = yield client_stack.connect(net.host(dst).ip, port)
-        while "server" not in holder:
-            yield net.sim.timeout(0.0001)
-        pid = eng.peer_flow(path, flow_id=fid)
-        r = yield from measure_transfer(
-            net.sim, as_duplex(conn), as_duplex(holder["server"]), payload_bytes
+    def rotate_fluid(fid: str, seg_paths: list[list[str]], nbytes: int):
+        t0 = net.sim.now
+        done = 0
+        for s, (path, b) in enumerate(
+            zip(seg_paths, _split(nbytes, len(seg_paths)))
+        ):
+            fc = eng.start_flow(path, b, flow_id=f"{fid}/r{s}")
+            if s:
+                result.rotations += 1
+            while not fc.finished:
+                yield net.sim.timeout(epoch_s)
+            done += b
+        elapsed = net.sim.now - t0
+        result.fluid_goodput_bps[fid] = (
+            done * 8 / elapsed if elapsed > 0 else 0.0
         )
-        eng.end_peer(pid)
-        result.packet_goodput_bps[fid] = r.goodput_bps
+        rotor_state["finished"] += 1
+
+    for fid, seg_paths, nbytes in fluid_rotors:
+        net.sim.process(
+            rotate_fluid(fid, seg_paths, nbytes), name=f"hyb.rotor.{fid}"
+        )
+
+    # Packet subset: static rules + one TCP transfer per segment, each
+    # holding a peer reservation at the fidelity boundary.  Single-segment
+    # lanes get their rules at setup (dedup by pair+path); rotating lanes
+    # install/remove per segment inside the transfer, like a live MC.
+    wired: set[tuple] = set()
+    cookies = iter(range(1, 1 << 30))
+    for fid, src, dst, seg_paths, nbytes in packet_jobs:
+        if len(seg_paths) > 1:
+            continue
+        key = (src, dst, tuple(seg_paths[0]))
+        if key not in wired:
+            wired.add(key)
+            result.rules_installed += _install_path_rules(net, seg_paths[0])
+
+    def transfer(fid: str, src: str, dst: str, seg_paths: list[list[str]],
+                 nbytes: int, port: int):
+        rotating = len(seg_paths) > 1
+        t0 = net.sim.now
+        done = 0
+        for s, (path, b) in enumerate(
+            zip(seg_paths, _split(nbytes, len(seg_paths)))
+        ):
+            cookie = 0
+            if rotating:
+                cookie = next(cookies)
+                result.rules_installed += _install_path_rules(
+                    net, path, cookie=cookie
+                )
+                if s:
+                    result.rotations += 1
+            server_stack = TcpStack(net.host(dst))
+            listener = server_stack.listen(port + s)
+            holder: dict = {}
+
+            def acceptor():
+                holder["server"] = yield listener.accept()
+
+            net.sim.process(acceptor(), name=f"hyb.accept.{fid}.{s}")
+            client_stack = TcpStack(net.host(src))
+            conn = yield client_stack.connect(net.host(dst).ip, port + s)
+            while "server" not in holder:
+                yield net.sim.timeout(0.0001)
+            pid = eng.peer_flow(path, flow_id=f"{fid}/r{s}" if rotating else fid)
+            r = yield from measure_transfer(
+                net.sim, as_duplex(conn), as_duplex(holder["server"]), b
+            )
+            eng.end_peer(pid)
+            if rotating:
+                _remove_path_rules(net, path, cookie)
+            done += b
+            if not rotating:
+                result.packet_goodput_bps[fid] = r.goodput_bps
+        if rotating:
+            elapsed = net.sim.now - t0
+            result.packet_goodput_bps[fid] = (
+                done * 8 / elapsed if elapsed > 0 else 0.0
+            )
         result.packet_finished += 1
 
-    for j, (fid, src, dst, path) in enumerate(packet_jobs):
+    for j, (fid, src, dst, seg_paths, nbytes) in enumerate(packet_jobs):
         net.sim.process(
-            transfer(fid, src, dst, path, 20000 + j), name=f"hyb.xfer.{fid}"
+            transfer(fid, src, dst, seg_paths, nbytes, 20000 + j * 8),
+            name=f"hyb.xfer.{fid}",
         )
 
     if prof is not None:
@@ -221,7 +348,9 @@ def run_hybrid_scenario(
     result.resolves = eng.solver.resolves
     result.bytes_advanced = eng.bytes_advanced
     result.debited_bytes = eng.debited_bytes
-    result.fluid_finished = eng.finished_flows
+    result.fluid_finished = (
+        rotor_state["finished"] if fluid_rotors else eng.finished_flows
+    )
     for fc in fluid_handles:
         if fc.finished:
             result.fluid_goodput_bps[fc.flow_id] = fc.goodput_bps()

@@ -36,6 +36,9 @@ class MFlowPlan:
     rev_addrs: list[MAddress]  # mirrored for the reply direction
     cookie: int
     proto: str = "tcp"  # transport the rules match ("tcp" | "udp")
+    #: extra simultaneous entry addresses (FRVM-style multiplexing); drawn
+    #: by the anonymity strategy's ``finish_plan`` hook, empty for MIC
+    aliases: tuple = ()
 
     @property
     def mn_names(self) -> list[str]:
@@ -95,6 +98,9 @@ class FlowGrant:
     entry_ip: IPv4Addr
     entry_port: int
     source_port: int
+    #: alternative (alias) entry lanes as ``(ip, port)`` pairs — non-empty
+    #: only under multiplexing strategies (FRVM)
+    alt_entries: tuple = ()
 
 
 @dataclass(frozen=True)

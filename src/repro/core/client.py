@@ -255,7 +255,8 @@ class MicEndpoint:
         fg = grant.flows[0]
         sock = UdpSocket(self.host, port=fg.source_port)
         return MicDatagramSocket(sock, fg.entry_ip, fg.entry_port,
-                                 channel_id=grant.channel_id)
+                                 channel_id=grant.channel_id,
+                                 alt_entries=fg.alt_entries)
 
     def _request_channel(
         self,
@@ -353,18 +354,27 @@ class MicEndpoint:
 
 
 class MicDatagramSocket:
-    """Initiator-side datagram channel: fire-and-forget through the fabric."""
+    """Initiator-side datagram channel: fire-and-forget through the fabric.
+
+    Under a multiplexing anonymity strategy (FRVM) the grant carries
+    alias entry lanes; sends round-robin across every granted lane so no
+    single observed entry address covers the conversation.
+    """
 
     def __init__(self, sock: UdpSocket, entry_ip: IPv4Addr, entry_port: int,
-                 channel_id: int = 0):
+                 channel_id: int = 0, alt_entries: tuple = ()):
         self.sock = sock
         self.entry_ip = entry_ip
         self.entry_port = entry_port
         self.channel_id = channel_id
+        self.lanes: tuple = ((entry_ip, entry_port), *alt_entries)
+        self._next_lane = 0
 
     def send(self, data: bytes) -> None:
-        """Send one datagram into the mimic channel."""
-        self.sock.sendto(data, self.entry_ip, self.entry_port)
+        """Send one datagram into the mimic channel (striped across lanes)."""
+        ip, port = self.lanes[self._next_lane]
+        self._next_lane = (self._next_lane + 1) % len(self.lanes)
+        self.sock.sendto(data, ip, port)
 
     def recv(self):
         """Event firing with the next reply :class:`Datagram`."""

@@ -20,22 +20,13 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Optional, Sequence, Union
+from typing import TYPE_CHECKING, Optional, Sequence, Union
 
 import networkx as nx
 
 from ..crypto import DEFAULT_COSTS, CryptoCostModel, Key, seal, unseal
 from ..net.addresses import IPv4Addr, MacAddr, ip
-from ..net.flowtable import (
-    Drop,
-    FlowEntry,
-    GroupEntry,
-    Match,
-    Output,
-    PopMpls,
-    PushMpls,
-    SetField,
-)
+from ..net.flowtable import FlowEntry
 from ..net.packet import Packet
 from ..net.switch import Switch
 from ..obs.spans import begin as begin_span
@@ -56,6 +47,9 @@ from .collision import (
 from .hidden import HiddenServiceMap
 from .labels import LabelSpace
 from .restrictions import AddressRestrictions
+
+if TYPE_CHECKING:  # runtime import would cycle; see __init__
+    from ..anonymity.base import Strategy
 
 __all__ = [
     "MimicController",
@@ -126,10 +120,18 @@ class MimicController(ControllerApp):
         costs: CryptoCostModel = DEFAULT_COSTS,
         verify: bool = False,
         park_retry_s: float = 0.25,
+        strategy: Union[str, "Strategy"] = "mic",
     ):
         if mn_strategy not in ("random", "spread"):
             raise ValueError(f"unknown MN strategy {mn_strategy!r}")
         self.mn_strategy = mn_strategy
+        # Imported here, not at module top: anonymity.base needs the core
+        # channel/collision types at load time, so a top-level import would
+        # cycle whenever repro.anonymity is imported before repro.core.
+        from ..anonymity.base import get_strategy
+
+        # Resolve eagerly so a bad name fails at construction, not attach.
+        self.strategy = get_strategy(strategy)
         self.mn_bits = mn_bits
         self.flow_bits = flow_bits
         self.mn_shift = mn_shift
@@ -195,6 +197,7 @@ class MimicController(ControllerApp):
         self.flow_ids = FlowIdAllocator(flow_id_values)
         self.registry = CollisionRegistry()
         self.hidden = HiddenServiceMap()
+        self.strategy.bind(self)
         self._client_keys: dict[str, Key] = {}
         self._used_sports: dict[str, set[int]] = {}
         self._ip_to_mac = {
@@ -402,17 +405,11 @@ class MimicController(ControllerApp):
             n_flows=n_flows,
             n_mns=n_mns,
         )
+        self.strategy.on_established(channel)
         establish_span.finish()
         return ChannelGrant(
             channel_id=channel_id,
-            flows=tuple(
-                FlowGrant(
-                    entry_ip=p.entry.dst_ip,
-                    entry_port=p.entry.dport,
-                    source_port=p.entry.sport,
-                )
-                for p in plans
-            ),
+            flows=tuple(self.strategy.flow_grant(p) for p in plans),
         )
 
     def _resolve_responder(
@@ -448,6 +445,7 @@ class MimicController(ControllerApp):
         flow_id: Optional[int] = None,
         entry_pin: Optional[MAddress] = None,
         delivery_pin: Optional[MAddress] = None,
+        alias_pins: tuple = (),
         proto: str = "tcp",
     ) -> MFlowPlan:
         """Plan one m-flow.
@@ -483,7 +481,7 @@ class MimicController(ControllerApp):
                 src_ip=delivery_pin.src_ip, sport=delivery_pin.sport,
                 dst_ip=resp_ip, dport=responder_port,
             )
-        fwd = self._draw_addresses(
+        fwd = self.strategy.draw_addresses(
             walk, mn_positions, flow_id,
             first=first,
             last=last,
@@ -494,7 +492,7 @@ class MimicController(ControllerApp):
         rev_positions = sorted(len(walk) - 1 - p for p in mn_positions)
         delivery = fwd[-1]
         entry = fwd[0]
-        rev = self._draw_addresses(
+        rev = self.strategy.draw_addresses(
             rwalk, rev_positions, flow_id,
             first=MAddressDraw(
                 src_ip=resp_ip, sport=delivery.dport,
@@ -507,7 +505,7 @@ class MimicController(ControllerApp):
             owner=owner,
             endpoints=endpoints,
         )
-        return MFlowPlan(
+        plan = MFlowPlan(
             flow_id=flow_id,
             walk=walk,
             mn_positions=mn_positions,
@@ -516,6 +514,9 @@ class MimicController(ControllerApp):
             cookie=cookie,
             proto=proto,
         )
+        self.strategy.finish_plan(plan, owner, endpoints,
+                                  alias_pins=alias_pins)
+        return plan
 
     def _choose_mns(self, switch_positions: list[int], n_mns: int) -> list[int]:
         if len(switch_positions) < n_mns:
@@ -542,281 +543,15 @@ class MimicController(ControllerApp):
                 return candidate
         raise EstablishError(f"no free source ports for {initiator}")
 
-    def _draw_addresses(
-        self,
-        walk: list[str],
-        mn_positions: list[int],
-        flow_id: int,
-        first: "MAddressDraw",
-        last: "MAddressDraw",
-        owner: str,
-        endpoints: tuple[str, str] = (),
-    ) -> list[MAddress]:
-        """Segment addresses A[0..N] for one direction of a walk.
-
-        ``first`` pins the real fields of the initiator-side segment,
-        ``last`` those of the delivery segment; everything unpinned is drawn
-        from the segment's plausible host pairs and the owning MN's hash
-        class (label), with a retry loop guarding against random-draw
-        collisions with already-registered keys.
-        """
-        boundaries = [0] + mn_positions + [len(walk) - 1]
-        addrs: list[MAddress] = []
-        n_segments = len(mn_positions) + 1
-        for seg in range(n_segments):
-            seg_nodes = walk[boundaries[seg] : boundaries[seg + 1] + 1]
-            pins = []
-            if seg == 0:
-                pins.append(first)
-            if seg == n_segments - 1:
-                pins.append(last)
-            # A segment is labeled only between two MNs: the first MN pushes
-            # the shim, the last MN pops it (hosts cannot parse MPLS).
-            labeled = 0 < seg < n_segments - 1
-            mn_name = walk[mn_positions[seg - 1]] if labeled else None
-            addr = self._draw_segment(
-                seg_nodes, pins, mn_name, flow_id, owner, endpoints
-            )
-            addrs.append(addr)
-        return addrs
-
-    def _draw_segment(
-        self,
-        seg_nodes: list[str],
-        pins: list["MAddressDraw"],
-        mn_name: Optional[str],
-        flow_id: int,
-        owner: str,
-        endpoints: tuple[str, str] = (),
-    ) -> MAddress:
-        pin_src = next((p.src_ip for p in pins if p.src_ip is not None), None)
-        pin_dst = next((p.dst_ip for p in pins if p.dst_ip is not None), None)
-        pin_sport = next((p.sport for p in pins if p.sport is not None), None)
-        pin_dport = next((p.dport for p in pins if p.dport is not None), None)
-
-        pool = self.restrictions.pairs_for_segment(seg_nodes)
-        if pin_src is not None:
-            src_host = self._ip_to_host.get(pin_src)
-            narrowed = [p for p in pool if p[0] == src_host]
-            pool = narrowed or pool
-        if pin_dst is not None:
-            dst_host = self._ip_to_host.get(pin_dst)
-            narrowed = [p for p in pool if p[1] == dst_host]
-            pool = narrowed or pool
-        # Fake draws must never name the channel's real endpoints: a drawn
-        # address equal to the true initiator/responder would hand the
-        # adversary a correct identity (the entry address "hides the address
-        # of the responder", Sec IV-A1).  Relax only if nothing else exists.
-        if endpoints:
-            banned = set(endpoints)
-            strict = [
-                p
-                for p in pool
-                if (pin_src is not None or p[0] not in banned)
-                and (pin_dst is not None or p[1] not in banned)
-            ]
-            pool = strict or pool
-
-        for _attempt in range(64):
-            a, b = self.rng.choice(pool)
-            src_ip = pin_src if pin_src is not None else self.net.topo.host_ip(a)
-            dst_ip = pin_dst if pin_dst is not None else self.net.topo.host_ip(b)
-            sport = pin_sport if pin_sport is not None else self.rng.randint(1024, 65535)
-            dport = pin_dport if pin_dport is not None else self.rng.randint(1024, 65535)
-            if mn_name is None:
-                mpls = None  # unlabeled first segment (hosts cannot push MPLS)
-            else:
-                mpls = self.mn_spaces[mn_name].draw_label(
-                    flow_id, src_ip, dst_ip, self.rng
-                )
-            addr = MAddress(src_ip, dst_ip, sport, dport, mpls)
-            key = (str(src_ip), str(dst_ip), mpls, sport, dport)
-            conflict = any(
-                self.registry.owner(node, key) not in (None, owner)
-                for node in seg_nodes
-            )
-            if not conflict:
-                for node in seg_nodes:
-                    if self.net.topo.kind(node) == "switch":
-                        self.registry.register(node, key, owner)
-                return addr
-        raise EstablishError("could not draw a collision-free m-address")
-
-    # -- rule compilation ------------------------------------------------
+    # -- rule compilation (delegated to the anonymity strategy) ----------
     def _compile_flow(
         self, plan: MFlowPlan, owner: str, decoys: int
     ) -> tuple[list, list, list]:
-        rules = self._compile_direction(
-            plan.walk, plan.mn_positions, plan.fwd_addrs, plan.cookie,
-            plan.proto,
-        )
-        rev_positions = sorted(len(plan.walk) - 1 - p for p in plan.mn_positions)
-        rules += self._compile_direction(
-            list(reversed(plan.walk)), rev_positions, plan.rev_addrs,
-            plan.cookie, plan.proto,
-        )
-        groups: list = []
-        drops: list = []
-        if decoys > 0:
-            rules, groups, drops = self._add_decoys(plan, rules, decoys, owner)
-        return rules, groups, drops
-
-    def _compile_direction(
-        self,
-        walk: list[str],
-        mn_positions: list[int],
-        addrs: list[MAddress],
-        cookie: int,
-        proto: str = "tcp",
-    ) -> list[tuple[str, FlowEntry]]:
-        rules: list[tuple[str, FlowEntry]] = []
-        mn_set = set(mn_positions)
-        for j in range(1, len(walk) - 1):
-            k_in = sum(1 for p in mn_positions if p < j)
-            k_out = sum(1 for p in mn_positions if p <= j)
-            addr_in = addrs[k_in]
-            addr_out = addrs[k_out]
-            match = self._match_for(walk, j, addr_in, proto)
-            actions = []
-            if j in mn_set:
-                actions.extend(self._rewrite_actions(addr_in, addr_out))
-            actions.append(Output(self.net.port(walk[j], walk[j + 1])))
-            rules.append(
-                (walk[j], FlowEntry(match, actions, priority=MIC_PRIORITY, cookie=cookie))
-            )
-        return rules
-
-    def _match_for(
-        self, walk: list[str], j: int, addr: MAddress, proto: str = "tcp"
-    ) -> Match:
-        return Match(
-            in_port=self.net.port(walk[j], walk[j - 1]),
-            ip_src=addr.src_ip,
-            ip_dst=addr.dst_ip,
-            proto=proto,
-            sport=addr.sport,
-            dport=addr.dport,
-            mpls=addr.mpls if addr.mpls is not None else Match.NO_MPLS,
-        )
-
-    def _rewrite_actions(self, a_in: MAddress, a_out: MAddress) -> list:
-        actions: list = []
-        if a_out.src_ip != a_in.src_ip:
-            actions.append(SetField("ip_src", a_out.src_ip))
-            actions.append(SetField("eth_src", self._mac_for(a_out.src_ip)))
-        if a_out.dst_ip != a_in.dst_ip:
-            actions.append(SetField("ip_dst", a_out.dst_ip))
-            actions.append(SetField("eth_dst", self._mac_for(a_out.dst_ip)))
-        if a_out.sport != a_in.sport:
-            actions.append(SetField("sport", a_out.sport))
-        if a_out.dport != a_in.dport:
-            actions.append(SetField("dport", a_out.dport))
-        if a_in.mpls is None and a_out.mpls is not None:
-            actions.append(PushMpls(a_out.mpls))
-        elif a_in.mpls is not None and a_out.mpls is None:
-            actions.append(PopMpls())
-        elif a_in.mpls != a_out.mpls:
-            actions.append(SetField("mpls", a_out.mpls))
-        return actions
+        return self.strategy.compile_flow(plan, owner, decoys)
 
     def _mac_for(self, addr: IPv4Addr) -> MacAddr:
         found = self._ip_to_mac.get(addr)
         return found if found is not None else MacAddr(0xFFFFFF_0000FE)
-
-    # -- partial multicast (Sec IV-C) -----------------------------------
-    def _add_decoys(
-        self,
-        plan: MFlowPlan,
-        rules: list[tuple[str, FlowEntry]],
-        decoys: int,
-        owner: str,
-    ) -> tuple[list, list, list]:
-        """Convert the first forward MN's rule into a type-*all* group that
-        also emits decoy copies toward other ports; the decoy next hops get
-        explicit drop rules."""
-        first_mn_pos = plan.mn_positions[0]
-        mn_name = plan.walk[first_mn_pos]
-        prev_node = plan.walk[first_mn_pos - 1]
-        next_node = plan.walk[first_mn_pos + 1]
-        target_idx = None
-        for i, (sw_name, entry) in enumerate(rules):
-            if sw_name == mn_name and entry.match.in_port == self.net.port(
-                mn_name, prev_node
-            ):
-                target_idx = i
-                break
-        if target_idx is None:  # pragma: no cover - defensive
-            return rules, [], []
-        real_entry = rules[target_idx][1]
-
-        # Candidate decoy neighbors: switches adjacent to the MN, excluding
-        # the real previous/next hops.
-        neighbors = [
-            n
-            for n in self.net.topo.neighbors(mn_name)
-            if n not in (prev_node, next_node)
-            and self.net.topo.kind(n) == "switch"
-        ]
-        self.rng.shuffle(neighbors)
-        chosen = neighbors[:decoys]
-
-        buckets = [list(real_entry.actions)]
-        drops: list[tuple[str, FlowEntry]] = []
-        for neighbor in chosen:
-            seg = [mn_name, neighbor]
-            pair = self.restrictions.sample_pair(seg, self.rng)
-            d_src = self.net.topo.host_ip(pair[0])
-            d_dst = self.net.topo.host_ip(pair[1])
-            label = self.mn_spaces[mn_name].draw_label(
-                plan.flow_id, d_src, d_dst, self.rng
-            )
-            d_sport = self.rng.randint(1024, 65535)
-            d_dport = self.rng.randint(1024, 65535)
-            bucket = [
-                SetField("ip_src", d_src),
-                SetField("eth_src", self._mac_for(d_src)),
-                SetField("ip_dst", d_dst),
-                SetField("eth_dst", self._mac_for(d_dst)),
-                SetField("sport", d_sport),
-                SetField("dport", d_dport),
-                PushMpls(label),
-                Output(self.net.port(mn_name, neighbor)),
-            ]
-            buckets.append(bucket)
-            key = (str(d_src), str(d_dst), label, d_sport, d_dport)
-            self.registry.register(neighbor, key, owner)
-            drop_match = Match(
-                in_port=self.net.port(neighbor, mn_name),
-                ip_src=d_src,
-                ip_dst=d_dst,
-                sport=d_sport,
-                dport=d_dport,
-                mpls=label,
-            )
-            drops.append(
-                (
-                    neighbor,
-                    FlowEntry(
-                        drop_match, [Drop()],
-                        priority=DECOY_DROP_PRIORITY, cookie=plan.cookie,
-                    ),
-                )
-            )
-
-        group_id = next(_group_ids)
-        group = GroupEntry(group_id=group_id, buckets=buckets, cookie=plan.cookie)
-        from ..net.flowtable import Group as GroupAction
-
-        rules[target_idx] = (
-            mn_name,
-            FlowEntry(
-                real_entry.match,
-                [GroupAction(group_id)],
-                priority=real_entry.priority,
-                cookie=real_entry.cookie,
-            ),
-        )
-        return rules, [(mn_name, group)], drops
 
     # -- lifecycle --------------------------------------------------------
     def teardown(self, channel_id: int) -> None:
@@ -838,6 +573,7 @@ class MimicController(ControllerApp):
         self.net.trace.emit(
             self.sim.now, "mic.teardown", "MC", channel_id=channel_id
         )
+        self.strategy.on_teardown(channel)
 
     def _release_flow(self, channel_id: int, plan: MFlowPlan) -> None:
         self.registry.release_owner(f"ch{channel_id}/c{plan.cookie}")
@@ -888,16 +624,35 @@ class MimicController(ControllerApp):
         self._repairing.add(cookie)
         self.sim.process(self._repair_flow(channel, idx), name="mic.repair")
 
+    def rotate_flow(self, channel: MimicChannel, idx: int) -> bool:
+        """Re-draw a live flow's interior m-addresses (moving-target hop).
+
+        Rides the repair machinery end to end — remove-by-cookie barrier,
+        pinned entry/delivery, undo-on-failure — so a rotation is exactly a
+        repair without a triggering fault.  Skipped (returns False) while a
+        repairer or the parking lot already owns the flow.
+        """
+        if channel.channel_id not in self.channels:
+            return False
+        cookie = channel.flows[idx].cookie
+        if cookie in self._repairing or cookie in self._parked:
+            return False
+        self._repairing.add(cookie)
+        self.sim.process(
+            self._repair_flow(channel, idx, kind="rotate"), name="mic.rotate"
+        )
+        return True
+
     def _walk_alive(self, walk: Sequence[str]) -> bool:
         """Every edge of the walk still exists in the routing view."""
         graph = self.controller.view.graph
         return all(graph.has_edge(u, v) for u, v in zip(walk, walk[1:]))
 
-    def _repair_flow(self, channel: MimicChannel, idx: int):
+    def _repair_flow(self, channel: MimicChannel, idx: int, kind: str = "repair"):
         old = channel.flows[idx]
         owner = f"ch{channel.channel_id}/c{old.cookie}"
         span = begin_span(
-            self.obs, "mic.repair",
+            self.obs, "mic.rotate" if kind == "rotate" else "mic.repair",
             channel=channel.channel_id, flow_id=old.flow_id,
         )
         try:
@@ -935,6 +690,7 @@ class MimicController(ControllerApp):
                         flow_id=old.flow_id,
                         entry_pin=old.entry,
                         delivery_pin=old.delivery,
+                        alias_pins=old.aliases,
                         proto=old.proto,
                     )
                 except (EstablishError, ValueError, KeyError, IndexError,
@@ -990,18 +746,22 @@ class MimicController(ControllerApp):
                 channel.flows[idx] = new_plan
                 channel._touched_switches = sorted(touched)  # type: ignore[attr-defined]
                 self.compiled[new_plan.cookie] = (rules, groups, drops)
-                self.repairs_completed += 1
+                if kind == "rotate":
+                    self.strategy.rotations_completed += 1
+                    self.strategy.rotation_installs += len(events)
+                else:
+                    self.repairs_completed += 1
                 if self.verify_installs:
                     self.verify().raise_if_failed()
                 self.net.trace.emit(
                     self.sim.now,
-                    "mic.repair",
+                    "mic.rotate" if kind == "rotate" else "mic.repair",
                     "MC",
                     channel_id=channel.channel_id,
                     flow_id=old.flow_id,
                     new_walk=list(new_plan.walk),
                 )
-                span.finish(outcome="repaired")
+                span.finish(outcome="rotated" if kind == "rotate" else "repaired")
                 return
         finally:
             self._repairing.discard(old.cookie)
@@ -1154,6 +914,9 @@ class MimicController(ControllerApp):
         """Operational snapshot of the MC."""
         footprint = self.rule_footprint()
         return {
+            "anonymity_strategy": self.strategy.name,
+            "rotations_completed": self.strategy.rotations_completed,
+            "rotation_installs": self.strategy.rotation_installs,
             "live_channels": self.live_channels,
             "live_flows": self.flow_ids.live_count,
             "registry_keys": self.registry.total_keys(),

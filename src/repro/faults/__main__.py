@@ -31,6 +31,7 @@ def _run(args: argparse.Namespace):
         probe_period_s=args.probe_period,
         detection_latency_s=args.detection_latency,
         sanitizer=sanitizer,
+        strategy=args.strategy,
     )
     return card, dep, sanitizer
 
@@ -76,6 +77,10 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                    help="seconds between availability probes")
     p.add_argument("--detection-latency", type=float, default=0.002,
                    help="failure-detection latency in seconds")
+    from ..anonymity import STRATEGIES
+
+    p.add_argument("--strategy", default="mic", choices=sorted(STRATEGIES),
+                   help="anonymity strategy the controller runs (default mic)")
     p.add_argument("--sanitize", action="store_true",
                    help="attach the race/determinism sanitizer; its report "
                         "goes to stderr and findings fail the run")

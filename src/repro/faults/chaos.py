@@ -89,8 +89,13 @@ def run_chaos(
     schedule: Optional[FaultSchedule] = None,
     sanitizer: Optional["SimSanitizer"] = None,
     profiler: Optional["Profiler"] = None,
+    strategy: str = "mic",
 ) -> tuple[dict, MicDeployment]:
     """Run one seeded chaos scenario; returns ``(scorecard, deployment)``.
+
+    ``strategy`` selects the anonymity strategy the controller runs (see
+    :mod:`repro.anonymity`); the scorecard's ``anonymity`` section reports
+    it along with rotation counters.
 
     With ``schedule=None`` the :func:`default_schedule` is built from the
     established channels.  A supplied schedule must not be attached yet —
@@ -117,6 +122,7 @@ def run_chaos(
         seed=seed,
         observe=True,
         journey=True,
+        mic_kwargs={"strategy": strategy},
         journey_kwargs={"flight": flight},
         controller_kwargs={"detection_latency_s": detection_latency_s},
     )

@@ -129,6 +129,17 @@ def build_scorecard(
             "detector_events": ctrl.detector.events_delivered,
             "detection_latency_s": ctrl.detector.latency_s,
         },
+        "anonymity": {
+            "strategy": getattr(
+                getattr(mic, "strategy", None), "name", "mic"
+            ),
+            "rotations_completed": getattr(
+                getattr(mic, "strategy", None), "rotations_completed", 0
+            ),
+            "rotation_installs": getattr(
+                getattr(mic, "strategy", None), "rotation_installs", 0
+            ),
+        },
     }
     if attacker is not None:
         card["attacker"] = {
@@ -189,6 +200,13 @@ def format_scorecard(card: dict[str, Any]) -> str:
         f"  control plane: {cp['flow_mods_sent']} mods sent, "
         f"{cp['flow_mods_lost']} lost, {cp['flow_mods_retried']} retried"
     )
+    anon = card.get("anonymity")
+    if anon:
+        lines.append(
+            f"  anonymity: strategy={anon['strategy']}, "
+            f"{anon['rotations_completed']} rotations "
+            f"({anon['rotation_installs']} rotation installs)"
+        )
     if "attacker" in card:
         atk = card["attacker"]
         lines.append(

@@ -150,6 +150,12 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
     version = doc.get("version", 1)
     print(f"snapshot @ t={doc.get('sim_time_s', 0.0):.6f}s (schema v{version})")
     samples = doc.get("samples", [])
+    strat = next(
+        (s.get("labels", {}).get("strategy") for s in samples
+         if s["name"] == "anonymity.strategy"), None,
+    )
+    if strat is not None:
+        print(f"  anonymity: strategy={strat}")
     print(f"  samples: {len(samples)}")
     totals: dict[str, float] = {}
     for s in samples:

@@ -13,7 +13,8 @@ Conventions:
 * counters are monotone within a run, gauges are instantaneous readings,
   histograms accumulate observations (exported as count/sum/min/mean/
   p50/p95/p99/max), spans are completed control-plane operations with
-  sim-time start/end.
+  sim-time start/end, and infos are constant-valued (1) samples whose
+  payload is a label (e.g. the active anonymity strategy's name).
 """
 
 from __future__ import annotations
@@ -28,7 +29,7 @@ class MetricSpec:
     """One contracted observable: its name, type, unit, and firing rule."""
 
     name: str
-    type: str  # "counter" | "gauge" | "histogram" | "span"
+    type: str  # "counter" | "gauge" | "histogram" | "span" | "info"
     unit: str
     labels: tuple[str, ...]
     fires: str  # when the value updates / the span is recorded
@@ -171,6 +172,27 @@ CONTRACT: tuple[MetricSpec, ...] = (
         "mic.cpu.busy_s", "gauge", "seconds", (),
         "sampled at snapshot time: MC-side compute booked since the last reset",
     ),
+    # -- anonymity strategy layer -------------------------------------------
+    MetricSpec(
+        "anonymity.strategy", "info", "-", ("strategy",),
+        "constant 1; the label names the controller's anonymity strategy "
+        "(see docs/anonymity.md)",
+    ),
+    MetricSpec(
+        "anonymity.rotations.completed", "counter", "rotations", (),
+        "a moving-target rotation finishes re-drawing a live flow's "
+        "interior addresses (TARN-style hops; 0 under static strategies)",
+    ),
+    MetricSpec(
+        "anonymity.rotation.installs", "counter", "messages", (),
+        "install events driven by completed rotations (the rotation's "
+        "control-plane traffic cost)",
+    ),
+    MetricSpec(
+        "anonymity.aliases.live", "gauge", "aliases", (),
+        "sampled at snapshot time: alias entry addresses granted on live "
+        "flows (FRVM-style multiplexing; 0 otherwise)",
+    ),
     # -- hybrid fluid engine -------------------------------------------------
     MetricSpec(
         "fluid.flows.live", "gauge", "flows", (),
@@ -270,6 +292,11 @@ CONTRACT: tuple[MetricSpec, ...] = (
         "mic.repair", "span", "seconds", ("channel", "flow_id"),
         "a repair process ends: the flow is rerouted (outcome=repaired) "
         "or parked with no surviving path (outcome=parked)",
+    ),
+    MetricSpec(
+        "mic.rotate", "span", "seconds", ("channel", "flow_id"),
+        "a moving-target rotation ends: interior addresses re-drawn "
+        "(outcome=rotated) or parked with no surviving path",
     ),
     MetricSpec(
         "mic.resync", "span", "seconds", ("switch",),

@@ -275,12 +275,28 @@ class Observer:
             snap.add("mic.repairs.completed", self.mic.repairs_completed)
             snap.add("mic.repairs.parked", self.mic.repairs_parked)
             snap.add("mic.resyncs.completed", self.mic.resyncs_completed)
+            strat = getattr(self.mic, "strategy", None)
+            if strat is not None:
+                snap.add("anonymity.strategy", 1, strategy=strat.name)
+                snap.add("anonymity.rotations.completed",
+                         strat.rotations_completed)
+                snap.add("anonymity.rotation.installs",
+                         strat.rotation_installs)
+                snap.add("anonymity.aliases.live", strat.live_aliases)
 
     # -- reporting ----------------------------------------------------------
     def summary(self) -> str:
         """A human-readable run summary (counters, percentiles, spans)."""
         snap = self.snapshot()
         lines = [f"observability summary @ t={snap.sim_time_s:.6f}s"]
+        if self.mic is not None and getattr(self.mic, "strategy", None):
+            strat = self.mic.strategy
+            lines.append(
+                f"  anonymity: strategy={strat.name} "
+                f"rotations={strat.rotations_completed} "
+                f"rotation_installs={strat.rotation_installs} "
+                f"aliases={strat.live_aliases}"
+            )
         lines.append(f"  counters/gauges: {len(snap.samples)} samples")
         for name in ("switch.forwarded.packets", "switch.punted.packets",
                      "port.tx.drops", "host.stack.rx.packets"):

@@ -1,0 +1,105 @@
+"""Shared helpers for the anonymity-strategy suite.
+
+The golden files under ``tests/data/`` were generated from the
+pre-refactor ``MimicController`` (before the compile/draw logic moved into
+``repro.anonymity``), so comparing the post-refactor ``mic`` strategy
+against them proves the extraction is behavior-preserving byte for byte.
+
+Regenerate (only when a change is *intended* to alter compiled intents):
+
+    PYTHONPATH=src:. python -c "from tests.anonymity.helpers import write_goldens; write_goldens()"
+"""
+
+import itertools
+import json
+import pathlib
+
+from repro.core import channel, controller
+from repro.core.deployment import deploy_mic
+from repro.net import flowtable, packet
+from repro.net.topology import fat_tree
+
+DATA_DIR = pathlib.Path(__file__).resolve().parent.parent / "data"
+INTENTS_GOLDEN = DATA_DIR / "mic_intents_fat_tree4_seed0.json"
+SCORECARD_GOLDEN = DATA_DIR / "chaos_scorecard_seed0.json"
+
+#: the canonical cross-pod channel set used for intent snapshots
+CANONICAL_CHANNELS = (("h1", "h16", 7001), ("h2", "h15", 7002), ("h3", "h14", 7003))
+
+
+def reset_id_counters():
+    """Pin the process-global ID mints so back-to-back runs compare clean."""
+    packet._uid_counter = itertools.count(1)
+    packet._tag_counter = itertools.count(1)
+    flowtable._entry_counter = itertools.count(1)
+    channel._channel_ids = itertools.count(1)
+    controller._group_ids = itertools.count(1)
+    controller._cookie_ids = itertools.count(0x4D49_0000)
+
+
+def establish_canonical(seed=0, decoys=2, n_mns=3, mic_kwargs=None, proto="udp"):
+    """Deploy fat_tree(4) and establish the canonical channels via the MC."""
+    reset_id_counters()
+    dep = deploy_mic(fat_tree(4), seed=seed, mic_kwargs=dict(mic_kwargs or {}))
+    grants = []
+
+    def go():
+        for initiator, responder, port in CANONICAL_CHANNELS:
+            grant = yield from dep.mic.establish(
+                initiator, responder, service_port=port, n_mns=n_mns,
+                decoys=decoys, proto=proto,
+            )
+            grants.append(grant)
+
+    dep.sim.process(go(), name="canonical-establish")
+    dep.run_for(5.0)
+    assert len(grants) == len(CANONICAL_CHANNELS)
+    return dep, grants
+
+
+def _addr(a):
+    return f"{a.src_ip}:{a.sport}->{a.dst_ip}:{a.dport}/mpls={a.mpls}"
+
+
+def intent_snapshot(dep):
+    """Deterministic text form of every compiled intent and plan."""
+    mic = dep.mic
+    out = {"intents": {}, "plans": {}}
+    for cookie in sorted(mic.compiled):
+        rules, groups, drops = mic.compiled[cookie]
+        out["intents"][f"{cookie:#x}"] = {
+            "rules": [f"{sw} {e.describe()}" for sw, e in rules],
+            "groups": [f"{sw} {g.describe()}" for sw, g in groups],
+            "drops": [f"{sw} {e.describe()}" for sw, e in drops],
+        }
+    for cid in sorted(mic.channels):
+        ch = mic.channels[cid]
+        out["plans"][str(cid)] = [
+            {
+                "cookie": f"{p.cookie:#x}",
+                "walk": list(p.walk),
+                "mns": list(p.mn_positions),
+                "fwd": [_addr(a) for a in p.fwd_addrs],
+                "rev": [_addr(a) for a in p.rev_addrs],
+            }
+            for p in ch.flows
+        ]
+    return out
+
+
+def snapshot_json(snapshot) -> str:
+    """Byte-stable JSON form of a snapshot dict."""
+    return json.dumps(snapshot, sort_keys=True, indent=2) + "\n"
+
+
+def write_goldens():
+    """Regenerate the committed golden files (see module docstring)."""
+    from repro.faults import run_chaos, scorecard_json
+
+    DATA_DIR.mkdir(parents=True, exist_ok=True)
+    dep, _grants = establish_canonical()
+    INTENTS_GOLDEN.write_text(snapshot_json(intent_snapshot(dep)))
+    reset_id_counters()
+    card, _dep = run_chaos(seed=0)
+    SCORECARD_GOLDEN.write_text(scorecard_json(card) + "\n")
+    print(f"wrote {INTENTS_GOLDEN}\nwrote {SCORECARD_GOLDEN}")

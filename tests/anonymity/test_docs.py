@@ -1,0 +1,43 @@
+"""docs/anonymity.md stays in sync with the registries, both ways."""
+
+import pathlib
+
+from repro.anonymity import STRATEGIES, format_strategy_table
+from repro.attacks import ATTACKS, format_attack_table
+
+DOC = pathlib.Path(__file__).resolve().parents[2] / "docs" / "anonymity.md"
+
+
+def _embedded_table(marker: str) -> str:
+    """The marker-delimited table embedded in docs/anonymity.md."""
+    begin, end = f"<!-- {marker}:begin -->", f"<!-- {marker}:end -->"
+    text = DOC.read_text(encoding="utf-8")
+    assert begin in text and end in text, f"{begin} ... {end} markers missing"
+    return text.split(begin, 1)[1].split(end, 1)[0].strip()
+
+
+def test_strategy_table_matches_registry_exactly():
+    assert _embedded_table("strategy-table") == format_strategy_table(), (
+        "docs/anonymity.md strategy table is stale — regenerate with "
+        "`python -m repro.anonymity` and paste between the markers"
+    )
+
+
+def test_attack_table_matches_registry_exactly():
+    assert _embedded_table("attack-table") == format_attack_table(), (
+        "docs/anonymity.md attack table is stale — regenerate with "
+        "`python -m repro.attacks table` and paste between the markers"
+    )
+
+
+def test_every_registry_entry_has_a_doc_row_and_vice_versa():
+    strategy_rows = [
+        line for line in _embedded_table("strategy-table").splitlines()
+        if line.startswith("| `")
+    ]
+    assert len(strategy_rows) == len(STRATEGIES)
+    attack_rows = [
+        line for line in _embedded_table("attack-table").splitlines()
+        if line.startswith("| `")
+    ]
+    assert len(attack_rows) == len(ATTACKS)

@@ -1,0 +1,120 @@
+"""Behavior of the three bundled strategies and the registry."""
+
+import pytest
+
+from repro.anonymity import (
+    STRATEGIES,
+    FrvmMultiplex,
+    MicRewrite,
+    TarnHopping,
+    format_strategy_table,
+    get_strategy,
+)
+
+from tests.anonymity.helpers import establish_canonical
+
+
+def _interior_addrs(plan):
+    """Forward-direction addresses excluding the pinned entry/delivery."""
+    return tuple((a.src_ip, a.sport, a.dst_ip, a.dport, a.mpls)
+                 for a in plan.fwd_addrs[1:-1])
+
+
+# -- registry ------------------------------------------------------------
+
+def test_registry_has_the_three_bundled_strategies():
+    assert {"mic", "tarn", "frvm"} <= set(STRATEGIES)
+    assert isinstance(get_strategy("mic"), MicRewrite)
+    assert isinstance(get_strategy("tarn"), TarnHopping)
+    assert isinstance(get_strategy("frvm"), FrvmMultiplex)
+
+
+def test_get_strategy_passes_instances_through_and_rejects_unknown():
+    inst = TarnHopping(period_s=0.5)
+    assert get_strategy(inst) is inst
+    with pytest.raises(ValueError, match="unknown"):
+        get_strategy("onion")
+
+
+def test_strategy_table_has_one_row_per_registered_strategy():
+    table = format_strategy_table()
+    for name in STRATEGIES:
+        assert f"`{name}`" in table
+
+
+# -- tarn: timed rotation ------------------------------------------------
+
+def test_tarn_rotation_redraws_interior_but_keeps_pins():
+    dep, grants = establish_canonical(
+        mic_kwargs={"strategy": TarnHopping(period_s=1.0)})
+    plan0 = dep.mic.channels[1].flows[0]
+    before_interior = _interior_addrs(plan0)
+    entry_before = plan0.fwd_addrs[0]
+    delivery_before = plan0.fwd_addrs[-1]
+
+    dep.run_for(3.0)
+
+    strat = dep.mic.strategy
+    assert strat.rotations_completed > 0
+    assert strat.rotation_installs > 0
+    plan1 = dep.mic.channels[1].flows[0]
+    assert _interior_addrs(plan1) != before_interior
+    # Entry and delivery stay pinned: both endpoints' sockets survive hops.
+    a0, a1 = plan1.fwd_addrs[0], plan1.fwd_addrs[-1]
+    assert (a0.src_ip, a0.sport, a0.dst_ip, a0.dport) == (
+        entry_before.src_ip, entry_before.sport,
+        entry_before.dst_ip, entry_before.dport)
+    assert (a1.src_ip, a1.sport, a1.dst_ip, a1.dport) == (
+        delivery_before.src_ip, delivery_before.sport,
+        delivery_before.dst_ip, delivery_before.dport)
+    # The installed data plane matches the rotated plans exactly.
+    assert dep.mic.verify().violations == []
+
+
+def test_mic_strategy_never_rotates():
+    dep, _ = establish_canonical()
+    dep.run_for(5.0)
+    assert dep.mic.strategy.rotations_completed == 0
+    assert dep.mic.strategy.rotation_installs == 0
+
+
+# -- frvm: multiplexed entry aliases -------------------------------------
+
+def test_frvm_grants_k_entry_addresses_and_verifies():
+    dep, grants = establish_canonical(mic_kwargs={"strategy": "frvm"})
+    strat = dep.mic.strategy
+    assert isinstance(strat, FrvmMultiplex) and strat.k == 3
+    for grant in grants:
+        for fg in grant.flows:
+            assert len(fg.alt_entries) == strat.k - 1
+    for ch in dep.mic.channels.values():
+        for plan in ch.flows:
+            assert len(plan.aliases) == strat.k - 1
+            # Each alias is a distinct host-visible entry address.
+            entries = {(plan.fwd_addrs[0].dst_ip, plan.fwd_addrs[0].dport)}
+            entries |= {(a.dst_ip, a.dport) for a in plan.aliases}
+            assert len(entries) == strat.k
+    assert strat.live_aliases == sum(
+        len(ch.flows) * (strat.k - 1) for ch in dep.mic.channels.values())
+    assert dep.mic.verify().violations == []
+
+
+def test_frvm_repair_pins_granted_aliases():
+    """Aliases are host-visible; a repair must reclaim the exact same
+    alias addresses or every striping client's stale lanes blackhole."""
+    dep, grants = establish_canonical(mic_kwargs={"strategy": "frvm"})
+    plan = dep.mic.channels[1].flows[0]
+    aliases_before = tuple((a.dst_ip, a.dport) for a in plan.aliases)
+
+    mid = len(plan.walk) // 2
+    dep.net.set_link_state(plan.walk[mid - 1], plan.walk[mid], False)
+    dep.run_for(2.0)
+    dep.net.set_link_state(plan.walk[mid - 1], plan.walk[mid], True)
+    dep.run_for(2.0)
+    assert dep.mic.repairs_completed > 0
+
+    replanned = dep.mic.channels[1].flows[0]
+    assert tuple((a.dst_ip, a.dport) for a in replanned.aliases) == (
+        aliases_before)
+    assert grants[0].flows[0].alt_entries == aliases_before
+    assert dep.mic.verify().violations == []

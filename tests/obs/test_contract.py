@@ -56,7 +56,7 @@ def test_contract_names_unique_and_typed():
     names = [m.name for m in CONTRACT]
     assert len(names) == len(set(names))
     for m in CONTRACT:
-        assert m.type in {"counter", "gauge", "histogram", "span"}, m.name
+        assert m.type in {"counter", "gauge", "histogram", "span", "info"}, m.name
         assert m.unit and m.fires, m.name
     assert spec("switch.rule.packets").type == "counter"
     with pytest.raises(KeyError):
@@ -164,6 +164,11 @@ def _observed_names() -> set[str]:
     dep.net.set_switch_state(crashed, False)
     dep.run_for(0.5)
     dep.net.set_switch_state(crashed, True)
+    dep.run_for(1.0)
+    # Rotation round: an explicit moving-target hop fires the mic.rotate
+    # span and moves the anonymity.* rotation counters.
+    ch = next(iter(dep.mic.channels.values()))
+    assert dep.mic.rotate_flow(ch, 0)
     dep.run_for(1.0)
     names |= dep.obs.snapshot().names()
     return names
