@@ -4,7 +4,7 @@ PYTHON ?= python
 # Same invocation the CI tier-1 gate uses (src/ layout, no install needed).
 PYPATH = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-verbose lint verify obs-demo journey-demo chaos-demo prof-demo trajectory tournament bench bench-quick bench-scale figures quick-figures examples clean
+.PHONY: install test test-verbose lint verify obs-demo journey-demo chaos-demo shard-demo prof-demo trajectory tournament bench bench-quick bench-scale figures quick-figures examples clean
 
 install:
 	pip install -e . --no-build-isolation || pip install -e .
@@ -53,6 +53,16 @@ chaos-demo:
 	$(PYPATH) $(PYTHON) -m repro.faults run --seed 0 --timeline
 	$(PYPATH) $(PYTHON) -m repro.faults scorecard --seed 0 \
 		-o benchmarks/results/chaos_scorecard.json
+
+# Sharded control plane demo: the seed-0 chaos scenario on a 4-shard
+# MC cluster — the plan adds a controller-shard crash, the survivors
+# adopt its channels from stored intents, and the scorecard grows a
+# `controlplane` section.  Exits non-zero if any flow stays parked.
+shard-demo:
+	@mkdir -p benchmarks/results
+	$(PYPATH) $(PYTHON) -m repro.faults run --seed 0 --shards 4 --timeline
+	$(PYPATH) $(PYTHON) -m repro.faults scorecard --seed 0 --shards 4 \
+		-o benchmarks/results/chaos_scorecard_sharded.json
 
 # Strategy-vs-attack tournament, quick slice (same as the CI job).
 tournament:

@@ -13,6 +13,7 @@ from .experiments import (
 )
 from .harness import FigureResult, fmt_si, run_process
 from .hybrid_scenario import HybridScenarioResult, fat_tree_path, run_hybrid_scenario
+from .shard_scenario import ShardChurnResult, run_shard_churn
 from .testbed import Testbed
 from .trajectory import compare, load_trajectory, validate_entry
 
@@ -35,6 +36,8 @@ __all__ = [
     "open_tor",
     "run_hybrid_scenario",
     "run_process",
+    "run_shard_churn",
+    "ShardChurnResult",
     "scalability_routing_calculation",
     "scalability_vs_fabric",
     "validate_entry",

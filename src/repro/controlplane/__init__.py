@@ -1,0 +1,27 @@
+"""Control-plane scale-out: the sharded, replicated Mimic Controller.
+
+The paper flags the single MC as MIC's scalability ceiling (Sec VI-C).
+This package partitions the MAGA namespace and switch ownership across N
+controller shards behind a seeded rendezvous-hash ownership map, routes
+channel establishment to the owning shard, pipelines install fan-out
+across shards, and fails channels over to survivors on a shard crash.
+See ``docs/controlplane.md`` for the doc-diffed contract.
+"""
+
+from .cluster import MimicControllerCluster
+from .ownership import (
+    CONTROLPLANE_CONTRACT,
+    OwnershipMap,
+    PartitionedFlowIdAllocator,
+    format_controlplane_table,
+)
+from .shard import MimicShard
+
+__all__ = [
+    "MimicControllerCluster",
+    "MimicShard",
+    "OwnershipMap",
+    "PartitionedFlowIdAllocator",
+    "CONTROLPLANE_CONTRACT",
+    "format_controlplane_table",
+]

@@ -1,0 +1,224 @@
+"""Deterministic switch-ownership for the sharded Mimic Controller.
+
+One MC computing every walk and serializing every flow-mod is the
+scalability ceiling the paper itself flags (Sec VI-C: O(|F|) routing
+cost through a single controller).  The shard layer splits that work
+across N controller shards, and this module answers its one central
+question — *which shard owns a switch* — with rendezvous (highest-random-
+weight) hashing:
+
+* ``weight(shard, switch)`` is SHA-256 over ``"{seed}:{shard}:{switch}"``,
+  so the map depends only on the seed and the two ids — never on
+  ``PYTHONHASHSEED``, dict order, or process identity.  Every shard (and
+  every test) can re-derive the full map locally; there is no central
+  table to replicate, which is exactly the property failover leans on.
+* HRW gives minimal disruption: removing a shard from the ``alive`` set
+  reassigns *only* the switches that shard owned; every surviving
+  assignment is unchanged.  That keeps a shard crash from churning
+  ownership (and therefore repair responsibility) fleet-wide.
+* With one shard the map is trivially constant, which is what keeps
+  single-shard mode byte-identical to the unsharded controller.
+
+The DHT-style peer routing in p2p-project and Quantum's plugin/agent
+split are the architectural exemplars: a logically central policy whose
+enforcement (and here, computation) is distributed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+__all__ = [
+    "OwnershipMap",
+    "PartitionedFlowIdAllocator",
+    "CONTROLPLANE_CONTRACT",
+    "format_controlplane_table",
+]
+
+
+class OwnershipMap:
+    """Seeded rendezvous-hash assignment of switch ids to shard ids."""
+
+    def __init__(self, n_shards: int, seed: int = 0):
+        if n_shards < 1:
+            raise ValueError("need at least one shard")
+        self.n_shards = n_shards
+        self.seed = seed
+
+    def weight(self, shard: int, switch: str) -> int:
+        """The HRW weight of ``shard`` for ``switch`` (independent of
+        hash randomization — SHA-256 over the seeded id pair)."""
+        key = f"{self.seed}:{shard}:{switch}".encode()
+        return int.from_bytes(hashlib.sha256(key).digest()[:8], "big")
+
+    def owner(self, switch: str, alive: Optional[Iterable[int]] = None) -> int:
+        """The owning shard among ``alive`` (default: all shards)."""
+        candidates = sorted(alive) if alive is not None else range(self.n_shards)
+        best = -1
+        best_weight = -1
+        for shard in candidates:
+            if not 0 <= shard < self.n_shards:
+                raise ValueError(f"shard {shard} out of range")
+            w = self.weight(shard, switch)
+            if w > best_weight:
+                best, best_weight = shard, w
+        if best < 0:
+            raise ValueError("no live shard to own " + repr(switch))
+        return best
+
+    def partition(
+        self, switches: Sequence[str], alive: Optional[Iterable[int]] = None
+    ) -> dict[int, list[str]]:
+        """Switches grouped by owning shard (sorted, covering input order
+        independent)."""
+        alive_list = sorted(alive) if alive is not None else list(range(self.n_shards))
+        out: dict[int, list[str]] = {shard: [] for shard in alive_list}
+        for sw in sorted(switches):
+            out[self.owner(sw, alive_list)].append(sw)
+        return out
+
+
+class PartitionedFlowIdAllocator:
+    """One shard's slice of the flow-ID space: ids ≡ shard (mod n_shards).
+
+    Mirrors :class:`repro.core.collision.FlowIdAllocator` exactly —
+    LIFO recycling, sequential fresh ids, the same exhaustion error — so a
+    single-shard partition (``shard=0, n_shards=1``) allocates the
+    byte-identical 0, 1, 2, … sequence.  Disjoint residue classes mean no
+    two shards can ever hand out the same live flow ID without any
+    cross-shard coordination, which is what lets establishment proceed on
+    N shards in parallel while MAGA's uniqueness argument (Sec IV-B3)
+    still holds globally.
+    """
+
+    def __init__(self, n_values: int, shard: int = 0, n_shards: int = 1):
+        if n_values < 1:
+            raise ValueError("need a positive id space")
+        if not 0 <= shard < n_shards:
+            raise ValueError(f"shard {shard} outside 0..{n_shards - 1}")
+        self.n_values = n_values
+        self.shard = shard
+        self.n_shards = n_shards
+        self._next = shard
+        self._recycled: list[int] = []
+        self._live: set[int] = set()
+
+    def allocate(self) -> int:
+        """A unique ID among the currently live ones, from this partition."""
+        if self._recycled:
+            fid = self._recycled.pop()
+        elif self._next < self.n_values:
+            fid = self._next
+            self._next += self.n_shards
+        else:
+            raise RuntimeError(
+                f"flow-ID space exhausted ({self.n_values} live m-flows)"
+            )
+        self._live.add(fid)
+        return fid
+
+    def release(self, fid: int) -> None:
+        """Recycle a live ID for reuse."""
+        if fid not in self._live:
+            raise ValueError(f"flow id {fid} is not live")
+        self._live.remove(fid)
+        self._recycled.append(fid)
+
+    @property
+    def live_count(self) -> int:
+        """Number of currently live IDs."""
+        return len(self._live)
+
+    def is_live(self, fid: int) -> bool:
+        """True if the ID is currently live."""
+        return fid in self._live
+
+
+# ----------------------------------------------------------------------
+# Doc-diffed contract (docs/controlplane.md embeds the rendered table)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ControlplaneRule:
+    """One row of the ownership-map / failover contract."""
+
+    aspect: str
+    rule: str
+    on_shard_crash: str
+
+
+CONTROLPLANE_CONTRACT: tuple[ControlplaneRule, ...] = (
+    ControlplaneRule(
+        "switch ownership",
+        "`owner(switch) = argmax_shard sha256(seed:shard:switch)` over the "
+        "alive set — re-derivable anywhere from `(seed, n_shards, alive)`, "
+        "independent of `PYTHONHASHSEED` and insertion order",
+        "HRW re-ranks only the dead shard's switches; every surviving "
+        "assignment is unchanged (minimal disruption)",
+    ),
+    ControlplaneRule(
+        "channel ownership",
+        "a channel lives on the shard owning its initiator's edge switch; "
+        "`establish`/`shutdown`/`notify` requests punted by that switch "
+        "route there",
+        "the surviving owner of the edge switch adopts the channel, its "
+        "compiled intents, and its parked flows — channels are never killed",
+    ),
+    ControlplaneRule(
+        "flow-ID namespace",
+        "shard *i* of *N* allocates ids ≡ *i* (mod *N*): disjoint residue "
+        "classes keep MAGA uniqueness global with zero coordination",
+        "releases route back to the home partition by residue, so a "
+        "rejoined shard's allocator state is still exact",
+    ),
+    ControlplaneRule(
+        "labels / MN hashes",
+        "`LabelSpace`, per-MN `ReversibleHash` spaces, the collision "
+        "registry and the hidden-service map are built once on the "
+        "canonical `mic-controller` stream and shared by reference",
+        "nothing to rebuild: the namespace is shard-independent state",
+    ),
+    ControlplaneRule(
+        "install fan-out",
+        "every flow-mod routes to the shard owning its target switch, so a "
+        "multi-segment walk's installs pipeline across shards; under "
+        "`cpu_model=\"serialized\"` each shard's mods queue on its own CPU",
+        "in-flight installs of the dead shard settle or fail through the "
+        "acked-install machinery; the adopter's re-repair re-drives them",
+    ),
+    ControlplaneRule(
+        "repair / park / resync",
+        "fault events fan out to alive shards; each repairs, parks, and "
+        "resyncs only the channels it owns",
+        "flows mid-repair or parked on the dead shard are re-scheduled on "
+        "the adopter from the stored compiled intents (PR 5/PR 9)",
+    ),
+    ControlplaneRule(
+        "rejoin",
+        "a rejoined shard becomes eligible for new ownership immediately",
+        "adopted channels do not fail back — they stay with the adopter "
+        "until teardown, avoiding a second migration window",
+    ),
+    ControlplaneRule(
+        "single-shard mode",
+        "`n_shards=1` routes everything to shard 0, whose attach path, RNG "
+        "stream and allocator sequence are the unsharded controller's — "
+        "byte-identical, golden-tested",
+        "no failover possible; `ShardCrash` on a 1-shard cluster is a "
+        "schedule validation error",
+    ),
+)
+
+
+def format_controlplane_table(
+    rows: tuple[ControlplaneRule, ...] = CONTROLPLANE_CONTRACT,
+) -> str:
+    """The markdown ownership/failover contract table docs embed."""
+    lines = [
+        "| aspect | rule | on shard crash |",
+        "| --- | --- | --- |",
+    ]
+    for row in rows:
+        lines.append(f"| {row.aspect} | {row.rule} | {row.on_shard_crash} |")
+    return "\n".join(lines) + "\n"

@@ -107,6 +107,10 @@ class MimicController(ControllerApp):
     """MIC's control application; register it on a :class:`Controller`."""
 
     name = "mic"
+    #: cleared by the control-plane shard layer on a simulated shard crash;
+    #: every long-running generator re-checks it after resuming so a dead
+    #: shard's in-flight work stops without side effects
+    alive = True
 
     def __init__(
         self,
@@ -250,7 +254,9 @@ class MimicController(ControllerApp):
         # Decrypt cost + request-processing compute on the controller.
         cpu = self.costs.aes(REQUEST_WIRE_BYTES) + self.net.params.controller_request_cpu_s
         self.cpu_busy_s += cpu
-        yield self.sim.timeout(cpu)
+        yield from self._request_cpu(cpu)
+        if not self.alive:
+            return
 
         if request.kind == "establish":
             try:
@@ -280,6 +286,8 @@ class MimicController(ControllerApp):
         else:
             reply = McReply(ok=False, error=f"unknown request {request.kind!r}")
 
+        if not self.alive:
+            return  # crashed while serving: the initiator's retry re-asks
         out = Packet(
             eth_src=MacAddr(0xFFFFFF_000001),
             eth_dst=self.net.topo.host_mac(initiator_host),
@@ -355,14 +363,14 @@ class MimicController(ControllerApp):
             rules, groups, drops = self._compile_flow(plan, owner, decoys)
             compiled_by_cookie[plan.cookie] = (rules, groups, drops)
             for sw_name, group in groups:
-                events.append(self.controller.install_group(sw_name, group))
+                events.append(self._dispatch_group(sw_name, group))
                 touched.add(sw_name)
                 n_installs += 1
             by_switch: dict[str, list[FlowEntry]] = {}
             for sw_name, entry in rules + drops:
                 by_switch.setdefault(sw_name, []).append(entry)
             for sw_name, batch in by_switch.items():
-                events.append(self.controller.install_batch(sw_name, batch))
+                events.append(self._dispatch_batch(sw_name, batch))
                 touched.add(sw_name)
                 n_installs += len(batch)
         install_span = begin_span(
@@ -380,6 +388,15 @@ class MimicController(ControllerApp):
                 self._release_flow(channel_id, plan)
             raise EstablishError(f"rule installation failed: {exc}") from exc
         install_span.finish()
+        if not self.alive:
+            # The shard crashed while the installs were in flight: undo
+            # rather than commit a channel no live shard would own.
+            for sw_name in sorted(touched):
+                for plan in plans:
+                    self.controller.remove_by_cookie(sw_name, plan.cookie)
+            for plan in plans:
+                self._release_flow(channel_id, plan)
+            raise EstablishError("controller shard crashed during install")
 
         channel = MimicChannel(
             channel_id=channel_id,
@@ -543,6 +560,26 @@ class MimicController(ControllerApp):
                 return candidate
         raise EstablishError(f"no free source ports for {initiator}")
 
+    # -- install dispatch hooks ------------------------------------------
+    # Every flow-mod the MC emits funnels through these three methods (and
+    # the request-CPU hook below).  The base implementations are straight
+    # pass-throughs to the SDN controller — byte-identical to calling it
+    # directly — but they give the control-plane shard layer
+    # (:mod:`repro.controlplane`) a seam: a shard overrides them to route
+    # each install to the switch's owning shard and, under the serialized
+    # CPU model, to charge that shard's CPU before the mod goes out.
+    def _dispatch_group(self, sw_name: str, group):
+        return self.controller.install_group(sw_name, group)
+
+    def _dispatch_batch(self, sw_name: str, batch):
+        return self.controller.install_batch(sw_name, batch)
+
+    def _dispatch_install(self, sw_name: str, entry):
+        return self.controller.install(sw_name, entry)
+
+    def _request_cpu(self, cpu: float):
+        yield self.sim.timeout(cpu)
+
     # -- rule compilation (delegated to the anonymity strategy) ----------
     def _compile_flow(
         self, plan: MFlowPlan, owner: str, decoys: int
@@ -678,6 +715,9 @@ class MimicController(ControllerApp):
             if removals:
                 yield self.sim.all_of(removals)
             while True:
+                if not self.alive:
+                    span.finish(outcome="abandoned")
+                    return  # shard crashed; the adopting shard re-repairs
                 # Re-plan over the surviving fabric, pinning the identity.
                 try:
                     new_plan = self._plan_flow(
@@ -708,10 +748,10 @@ class MimicController(ControllerApp):
                 events = []
                 touched = set(getattr(channel, "_touched_switches", []))
                 for sw_name, group in groups:
-                    events.append(self.controller.install_group(sw_name, group))
+                    events.append(self._dispatch_group(sw_name, group))
                     touched.add(sw_name)
                 for sw_name, entry in rules + drops:
-                    events.append(self.controller.install(sw_name, entry))
+                    events.append(self._dispatch_install(sw_name, entry))
                     touched.add(sw_name)
                 failed = False
                 for ev in events:
@@ -723,6 +763,9 @@ class MimicController(ControllerApp):
                         yield ev
                     except Exception:
                         failed = True
+                if not self.alive:
+                    span.finish(outcome="abandoned")
+                    return
                 if failed:
                     # A switch refused an install (crashed chassis, lost
                     # mods beyond retry budget): undo and re-plan over the
@@ -791,6 +834,8 @@ class MimicController(ControllerApp):
             delay = self.park_retry_s
             while cookie in self._parked:
                 yield self.sim.timeout(delay)
+                if not self.alive:
+                    return
                 delay = min(delay * 2, 8 * self.park_retry_s)
                 self._try_unpark(cookie)
         finally:
@@ -834,6 +879,9 @@ class MimicController(ControllerApp):
         their repairer owns their rules.
         """
         span = begin_span(self.obs, "mic.resync", switch=name)
+        if not self.alive:
+            span.finish(outcome="abandoned")
+            return
         events = []
         n_rules = 0
         for channel in list(self.channels.values()):
@@ -846,10 +894,10 @@ class MimicController(ControllerApp):
                 rules, groups, drops = compiled
                 for sw_name, group in groups:
                     if sw_name == name:
-                        events.append(self.controller.install_group(name, group))
+                        events.append(self._dispatch_group(name, group))
                 batch = [e for sw_name, e in rules + drops if sw_name == name]
                 if batch:
-                    events.append(self.controller.install_batch(name, batch))
+                    events.append(self._dispatch_batch(name, batch))
                     n_rules += len(batch)
         if events:
             try:
@@ -858,6 +906,9 @@ class MimicController(ControllerApp):
                 # Crashed again mid-resync: the next reboot will re-drive.
                 span.finish(ok=False)
                 return
+        if not self.alive:
+            span.finish(outcome="abandoned")
+            return
         self.resyncs_completed += 1
         if self.verify_installs:
             self.verify().raise_if_failed()
@@ -869,6 +920,8 @@ class MimicController(ControllerApp):
     def _expiry_loop(self):
         while True:
             yield self.sim.timeout(self.idle_timeout_s)
+            if not self.alive:
+                return
             now = self.sim.now
             stale = [
                 cid

@@ -22,7 +22,14 @@ from .scorecard import (
     format_scorecard,
     scorecard_json,
 )
-from .specs import ControlPartition, FaultSpec, LinkFlap, RuleInstallLoss, SwitchCrash
+from .specs import (
+    ControlPartition,
+    FaultSpec,
+    LinkFlap,
+    RuleInstallLoss,
+    ShardCrash,
+    SwitchCrash,
+)
 
 __all__ = [
     "ChannelProbeStats",
@@ -31,6 +38,7 @@ __all__ = [
     "FaultSpec",
     "LinkFlap",
     "RuleInstallLoss",
+    "ShardCrash",
     "SwitchCrash",
     "build_scorecard",
     "default_schedule",

@@ -32,6 +32,7 @@ def _run(args: argparse.Namespace):
         detection_latency_s=args.detection_latency,
         sanitizer=sanitizer,
         strategy=args.strategy,
+        shards=args.shards,
     )
     return card, dep, sanitizer
 
@@ -84,6 +85,10 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--sanitize", action="store_true",
                    help="attach the race/determinism sanitizer; its report "
                         "goes to stderr and findings fail the run")
+    p.add_argument("--shards", type=int, default=0,
+                   help="run the sharded control plane with N controller "
+                        "shards (>= 2 adds a shard-crash fault and a "
+                        "controlplane scorecard section; 0 = plain MC)")
 
 
 def main(argv=None) -> int:

@@ -49,6 +49,12 @@ def default_schedule(dep: MicDeployment, channel_ids: list[int],
     ``channel_ids`` must name at least three live channels; fault targets
     are read off their first m-flow walks so every fault hits real state.
     All times are offsets from ``t0`` (the moment probing starts).
+
+    On a sharded control plane (``deploy_mic(shards=N)``, N ≥ 2) the plan
+    additionally crashes the shard owning channel 0 at ``t0 + 2`` — while
+    that channel's repair from the first link flap may still be in flight —
+    and rejoins it six seconds later, exercising channel adoption from
+    stored intents under live faults.
     """
     if len(channel_ids) < 3:
         raise ValueError(f"need >= 3 channels, got {len(channel_ids)}")
@@ -75,6 +81,16 @@ def default_schedule(dep: MicDeployment, channel_ids: list[int],
     sched.rule_install_loss(at_s=t0 + 0.5, duration_s=12.0,
                             loss_prob=0.2, delay_prob=0.2,
                             extra_delay_s=0.002)
+    # On a sharded control plane, crash the shard owning channel 0 while
+    # its link-flap repair window is open; a survivor adopts its channels
+    # from the stored compiled intents.  Guarded so the unsharded (and
+    # 1-shard, golden-pinned) runs keep the schedule byte-identical.
+    if getattr(dep.mic, "n_shards", 1) >= 2:
+        victim = next(
+            i for i, shard in enumerate(dep.mic.shards)
+            if channel_ids[0] in shard.channels
+        )
+        sched.shard_crash(victim, at_s=t0 + 2.0, down_for_s=6.0)
     return sched
 
 
@@ -90,12 +106,19 @@ def run_chaos(
     sanitizer: Optional["SimSanitizer"] = None,
     profiler: Optional["Profiler"] = None,
     strategy: str = "mic",
+    shards: int = 0,
 ) -> tuple[dict, MicDeployment]:
     """Run one seeded chaos scenario; returns ``(scorecard, deployment)``.
 
     ``strategy`` selects the anonymity strategy the controller runs (see
     :mod:`repro.anonymity`); the scorecard's ``anonymity`` section reports
     it along with rotation counters.
+
+    ``shards`` ≥ 1 runs the sharded control plane
+    (:class:`repro.controlplane.MimicControllerCluster`); with ≥ 2 shards
+    the default schedule adds a :class:`~repro.faults.ShardCrash` and the
+    scorecard gains a ``controlplane`` section.  ``shards=0`` (default)
+    keeps the plain controller.
 
     With ``schedule=None`` the :func:`default_schedule` is built from the
     established channels.  A supplied schedule must not be attached yet —
@@ -125,6 +148,7 @@ def run_chaos(
         mic_kwargs={"strategy": strategy},
         journey_kwargs={"flight": flight},
         controller_kwargs={"detection_latency_s": detection_latency_s},
+        shards=shards,
     )
     sim = dep.sim
     if sanitizer is not None:

@@ -23,7 +23,14 @@ from __future__ import annotations
 import random
 from typing import TYPE_CHECKING, Optional
 
-from .specs import ControlPartition, FaultSpec, LinkFlap, RuleInstallLoss, SwitchCrash
+from .specs import (
+    ControlPartition,
+    FaultSpec,
+    LinkFlap,
+    RuleInstallLoss,
+    ShardCrash,
+    SwitchCrash,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..net.network import Network
@@ -83,6 +90,11 @@ class FaultSchedule:
             at_s, duration_s, loss_prob, delay_prob, extra_delay_s, switches,
         ))  # type: ignore[return-value]
 
+    def shard_crash(self, shard: int, at_s: float,
+                    down_for_s: Optional[float] = None) -> ShardCrash:
+        """Add a controller-shard crash (sharded control plane only)."""
+        return self.add(ShardCrash(shard, at_s, down_for_s))  # type: ignore[return-value]
+
     # -- attachment ---------------------------------------------------------
     @property
     def needs_fault_plane(self) -> bool:
@@ -114,12 +126,40 @@ class FaultSchedule:
                              lambda s=spec: net.set_switch_state(s.switch, False))
                     self._at(sim, up_at,
                              lambda s=spec: net.set_switch_state(s.switch, True))
+            elif isinstance(spec, ShardCrash):
+                mic = self._sharded_mic(ctrl, spec)
+                self._at(sim, spec.at_s,
+                         lambda m=mic, s=spec: m.crash_shard(s.shard))
+                if spec.down_for_s is not None:
+                    self._at(sim, spec.at_s + spec.down_for_s,
+                             lambda m=mic, s=spec: m.rejoin_shard(s.shard))
         if ctrl is not None and self.needs_fault_plane:
             ctrl.faults = self
 
     def _at(self, sim, when: float, fn) -> None:
         self.injected_events += 1
         sim.call_at(max(when, sim.now), fn)
+
+    @staticmethod
+    def _sharded_mic(ctrl: Optional["Controller"], spec: ShardCrash):
+        """Resolve the sharded MC app a :class:`ShardCrash` targets."""
+        if ctrl is None:
+            raise ValueError("shard_crash requires attaching with a controller")
+        mic = next(
+            (app for app in ctrl.apps if getattr(app, "name", "") == "mic"),
+            None,
+        )
+        n_shards = getattr(mic, "n_shards", 1)
+        if mic is None or not hasattr(mic, "crash_shard") or n_shards < 2:
+            raise ValueError(
+                "shard_crash requires the sharded control plane "
+                "(deploy_mic(shards=N) with N >= 2)"
+            )
+        if not 0 <= spec.shard < n_shards:
+            raise ValueError(
+                f"shard {spec.shard} outside the cluster's 0..{n_shards - 1}"
+            )
+        return mic
 
     # -- the fault plane (consulted by the controller per message) ----------
     def flowmod_fate(self, switch_name: str) -> tuple[bool, float]:
@@ -172,6 +212,11 @@ class FaultSchedule:
                                        f"(p={spec.loss_prob})"))
                 out.append((spec.at_s + spec.duration_s,
                             "flow-mod loss window end"))
+            elif isinstance(spec, ShardCrash):
+                out.append((spec.at_s, f"controller shard {spec.shard} crash"))
+                if spec.down_for_s is not None:
+                    out.append((spec.at_s + spec.down_for_s,
+                                f"controller shard {spec.shard} rejoin"))
         return sorted(out)
 
     def describe(self) -> str:

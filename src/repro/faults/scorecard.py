@@ -141,6 +141,27 @@ def build_scorecard(
             ),
         },
     }
+    # Sharded control plane only (>= 2 shards): the unsharded and 1-shard
+    # runs keep the card byte-identical to the golden-pinned shape.
+    if getattr(mic, "n_shards", 1) >= 2:
+        card["controlplane"] = {
+            "shards": mic.n_shards,
+            "shards_alive": len(mic.alive_shards()),
+            "failovers": mic.failovers,
+            "channels_adopted": mic.channels_adopted,
+            "flows_reparked": mic.flows_reparked,
+            "repairs_rescheduled": mic.repairs_rescheduled,
+            "remote_installs": mic.remote_installs,
+            "requests_by_shard": {
+                str(s.shard_id): s.requests_served for s in mic.shards
+            },
+            "installs_by_shard": {
+                str(s.shard_id): s.installs_issued for s in mic.shards
+            },
+            "channels_by_shard": {
+                str(s.shard_id): len(s.channels) for s in mic.shards
+            },
+        }
     if attacker is not None:
         card["attacker"] = {
             "expected_accuracy": attacker.expected_accuracy,
@@ -200,6 +221,14 @@ def format_scorecard(card: dict[str, Any]) -> str:
         f"  control plane: {cp['flow_mods_sent']} mods sent, "
         f"{cp['flow_mods_lost']} lost, {cp['flow_mods_retried']} retried"
     )
+    if "controlplane" in card:
+        sh = card["controlplane"]
+        lines.append(
+            f"  shards: {sh['shards_alive']}/{sh['shards']} alive, "
+            f"{sh['failovers']} failovers, "
+            f"{sh['channels_adopted']} channels adopted, "
+            f"{sh['remote_installs']} remote installs"
+        )
     anon = card.get("anonymity")
     if anon:
         lines.append(

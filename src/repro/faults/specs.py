@@ -20,6 +20,7 @@ __all__ = [
     "FaultSpec",
     "LinkFlap",
     "RuleInstallLoss",
+    "ShardCrash",
     "SwitchCrash",
 ]
 
@@ -187,4 +188,44 @@ class RuleInstallLoss:
         )
 
 
-FaultSpec = Union[LinkFlap, SwitchCrash, ControlPartition, RuleInstallLoss]
+@dataclass(frozen=True)
+class ShardCrash:
+    """Crash controller shard ``shard`` at ``at_s``.
+
+    Requires the sharded control plane (``deploy_mic(shards=N)`` with
+    N ≥ 2): the surviving owner of each orphaned channel's edge switch
+    adopts the channel from its stored compiled intents and resumes
+    repair/park/resync, so no channel dies with its shard.  With
+    ``down_for_s`` set the shard rejoins that many seconds later
+    (adopted channels do not fail back); ``None`` leaves it dead.
+    """
+
+    shard: int
+    at_s: float
+    down_for_s: Optional[float] = None
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on an impossible window or parameter."""
+        if self.shard < 0:
+            raise ValueError(f"shard {self.shard} must be >= 0")
+        if self.at_s < 0.0:
+            raise ValueError(f"bad crash time at={self.at_s}")
+        if self.down_for_s is not None and self.down_for_s <= 0.0:
+            raise ValueError(f"down_for_s {self.down_for_s} must be positive")
+
+    def windows(self) -> Iterator[tuple[float, Optional[float]]]:
+        """Yield the single ``(down_at, up_at_or_None)`` cycle."""
+        up = None if self.down_for_s is None else self.at_s + self.down_for_s
+        yield self.at_s, up
+
+    def describe(self) -> str:
+        """One-line human description of this fault."""
+        rejoin = (
+            f", rejoin after {self.down_for_s}s"
+            if self.down_for_s is not None
+            else " (permanent)"
+        )
+        return f"controller shard {self.shard} crash at {self.at_s}s{rejoin}"
+
+
+FaultSpec = Union[LinkFlap, SwitchCrash, ControlPartition, RuleInstallLoss, ShardCrash]

@@ -172,6 +172,33 @@ CONTRACT: tuple[MetricSpec, ...] = (
         "mic.cpu.busy_s", "gauge", "seconds", (),
         "sampled at snapshot time: MC-side compute booked since the last reset",
     ),
+    # -- sharded control plane (only while a cluster is deployed) -----------
+    MetricSpec(
+        "mic.shard.alive", "gauge", "shards", (),
+        "sampled at snapshot time: controller shards currently alive "
+        "(only while the sharded control plane is deployed)",
+    ),
+    MetricSpec(
+        "mic.shard.requests.served", "counter", "requests", ("shard",),
+        "sampled at snapshot time: control requests served per shard",
+    ),
+    MetricSpec(
+        "mic.shard.channels.live", "gauge", "channels", ("shard",),
+        "sampled at snapshot time: channels owned per shard",
+    ),
+    MetricSpec(
+        "mic.shard.installs.routed", "counter", "messages", ("shard",),
+        "sampled at snapshot time: flow/group-mods issued through each "
+        "shard by the ownership-routed dispatch",
+    ),
+    MetricSpec(
+        "mic.shard.failovers", "counter", "crashes", (),
+        "a shard crash completes failover: survivors adopted its channels",
+    ),
+    MetricSpec(
+        "mic.shard.channels.adopted", "counter", "channels", (),
+        "a surviving shard adopts a dead shard's channel from stored intent",
+    ),
     # -- anonymity strategy layer -------------------------------------------
     MetricSpec(
         "anonymity.strategy", "info", "-", ("strategy",),
@@ -301,6 +328,11 @@ CONTRACT: tuple[MetricSpec, ...] = (
     MetricSpec(
         "mic.resync", "span", "seconds", ("switch",),
         "the MC finishes re-driving a rebooted switch's rules from intent",
+    ),
+    MetricSpec(
+        "mic.shard.failover", "span", "seconds", ("shard",),
+        "a surviving shard finishes adopting a crashed shard's channels, "
+        "parked flows and in-flight repairs from stored compiled intents",
     ),
     MetricSpec(
         "bench.setup", "span", "seconds", ("protocol",),

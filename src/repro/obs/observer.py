@@ -275,6 +275,22 @@ class Observer:
             snap.add("mic.repairs.completed", self.mic.repairs_completed)
             snap.add("mic.repairs.parked", self.mic.repairs_parked)
             snap.add("mic.resyncs.completed", self.mic.resyncs_completed)
+            # Sharded control plane only: the unsharded controller has no
+            # .shards, so these samples never appear in its snapshots.
+            shards = getattr(self.mic, "shards", None)
+            if shards is not None:
+                snap.add("mic.shard.alive", len(self.mic.alive_shards()))
+                snap.add("mic.shard.failovers", self.mic.failovers)
+                snap.add("mic.shard.channels.adopted",
+                         self.mic.channels_adopted)
+                for sh in shards:
+                    label = str(sh.shard_id)
+                    snap.add("mic.shard.requests.served",
+                             sh.requests_served, shard=label)
+                    snap.add("mic.shard.channels.live",
+                             len(sh.channels), shard=label)
+                    snap.add("mic.shard.installs.routed",
+                             sh.installs_issued, shard=label)
             strat = getattr(self.mic, "strategy", None)
             if strat is not None:
                 snap.add("anonymity.strategy", 1, strategy=strat.name)

@@ -128,6 +128,14 @@ PROF_SUBSYSTEMS: tuple[ProfSubsystem, ...] = (
         "the observability layer's own per-packet hook bodies",
         "`host_rx`, `journey_emit`",
     ),
+    ProfSubsystem(
+        "controlplane.route",
+        "repro.controlplane.MimicControllerCluster._dispatch / on_packet_in",
+        "routing one control request or flow-mod dispatch to its owning "
+        "shard through the rendezvous ownership map",
+        "`requests.routed`, `mods.routed`, `mods.remote` (mods issued by a "
+        "non-owning shard and forwarded)",
+    ),
 )
 
 _SUBSYSTEM_NAMES = {s.name for s in PROF_SUBSYSTEMS}

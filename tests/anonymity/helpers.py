@@ -37,10 +37,17 @@ def reset_id_counters():
     controller._cookie_ids = itertools.count(0x4D49_0000)
 
 
-def establish_canonical(seed=0, decoys=2, n_mns=3, mic_kwargs=None, proto="udp"):
-    """Deploy fat_tree(4) and establish the canonical channels via the MC."""
+def establish_canonical(seed=0, decoys=2, n_mns=3, mic_kwargs=None, proto="udp",
+                        shards=0):
+    """Deploy fat_tree(4) and establish the canonical channels via the MC.
+
+    ``shards`` >= 1 deploys the sharded control plane instead of the plain
+    controller (see :func:`repro.core.deployment.deploy_mic`) — the
+    1-shard cluster must reproduce the goldens byte for byte.
+    """
     reset_id_counters()
-    dep = deploy_mic(fat_tree(4), seed=seed, mic_kwargs=dict(mic_kwargs or {}))
+    dep = deploy_mic(fat_tree(4), seed=seed, mic_kwargs=dict(mic_kwargs or {}),
+                     shards=shards)
     grants = []
 
     def go():

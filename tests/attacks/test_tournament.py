@@ -1,6 +1,7 @@
 """The attack registry and the strategy-vs-attack tournament driver."""
 
 import json
+import pathlib
 
 import pytest
 
@@ -13,6 +14,11 @@ from repro.attacks import (
     get_attack,
     register_attack,
     run_tournament,
+)
+
+FRONTIER_GOLDEN = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "data" / "frontier_quick_seed0_accuracies.json"
 )
 
 
@@ -89,6 +95,50 @@ def test_frontier_reports_the_overhead_axis(quick_frontier):
     assert strategies["tarn"]["overhead"]["rotations_completed"] > 0
     assert strategies["mic"]["overhead"]["aliases_live"] == 0
     assert strategies["frvm"]["overhead"]["aliases_live"] > 0
+
+
+def test_frontier_accuracies_match_the_pinned_golden(quick_frontier):
+    """The current frontier is pinned byte for byte, so any future defense
+    (or attack tweak) surfaces as an explicit diff against
+    ``tests/data/frontier_quick_seed0_accuracies.json``.
+
+    Regenerate (only when the change to the frontier is *intended*)::
+
+        PYTHONPATH=src python -c "
+        import json, pathlib
+        from repro.attacks import run_tournament
+        f = run_tournament(seed=0, quick=True)
+        acc = {s: {a: round(r['accuracy'], 6)
+                   for a, r in e['attacks'].items()}
+               for s, e in f['rounds'][0]['strategies'].items()}
+        pathlib.Path('tests/data/frontier_quick_seed0_accuracies.json'
+                     ).write_text(json.dumps(acc, indent=2, sort_keys=True)
+                                  + '\\n')"
+    """
+    golden = json.loads(FRONTIER_GOLDEN.read_text())
+    acc = {
+        s: {a: round(res["accuracy"], 6)
+            for a, res in entry["attacks"].items()}
+        for s, entry in quick_frontier["rounds"][0]["strategies"].items()
+    }
+    assert acc == golden, (
+        "the strategy-vs-attack frontier moved — if a defense or attack "
+        "change is intended, regenerate the golden (see docstring) and "
+        "call the shift out in the PR"
+    )
+
+
+def test_watermark_still_defeats_every_strategy(quick_frontier):
+    """No deployed strategy defends against the active watermark yet: its
+    accuracy is pinned at exactly 1.0 across the board.  The open defense
+    (cover traffic / flow padding) is tracked in docs/anonymity.md — when
+    it lands, this test is the tripwire that must flip."""
+    strategies = quick_frontier["rounds"][0]["strategies"]
+    for name, entry in strategies.items():
+        assert entry["attacks"]["watermark"]["accuracy"] == 1.0, (
+            f"{name} now resists the watermark — update the pinned "
+            "frontier and the open-defense note in docs/anonymity.md"
+        )
 
 
 def test_frontier_json_round_trips(quick_frontier):

@@ -1,0 +1,183 @@
+"""Shard failover: adoption from stored intents, without killing channels.
+
+A crashed shard's channels, compiled intents, parked flows and in-flight
+repairs all move to the surviving rendezvous owner; the verifier's intent
+replay must come back clean afterwards, and the seed-0 chaos scenario run
+on a sharded control plane (which adds a :class:`ShardCrash` to the plan)
+must converge with zero permanently-parked flows.
+"""
+
+import pytest
+
+from repro.faults import FaultSchedule, ShardCrash, run_chaos
+
+from tests.anonymity.helpers import establish_canonical
+
+
+def _settle(dep, deadline_s=20.0):
+    t_end = dep.sim.now + deadline_s
+    while dep.sim.now < t_end:
+        dep.run_for(0.5)
+        if not dep.mic.repairs_in_flight and not dep.mic.parked_flows:
+            return
+    raise AssertionError(
+        f"control plane did not settle: repairing={dep.mic.repairs_in_flight} "
+        f"parked={dep.mic.parked_flows}"
+    )
+
+
+def _owning_shard(mic):
+    """The id of a shard that owns at least one channel."""
+    return next(s.shard_id for s in mic.shards if s.channels)
+
+
+def test_establishment_spreads_across_shards():
+    dep, _ = establish_canonical(shards=4)
+    mic = dep.mic
+    assert mic.n_shards == 4
+    assert mic.live_channels == 3
+    owners = {s.shard_id for s in mic.shards if s.channels}
+    assert len(owners) >= 2, "all channels landed on one shard"
+    # The cluster's aggregate surface matches the per-shard truth.
+    assert sum(len(s.channels) for s in mic.shards) == 3
+    assert mic.flow_ids.live_count == sum(
+        s.flow_ids.live_count for s in mic.shards
+    )
+    assert mic.verify().violations == []
+
+
+def test_crash_adopts_channels_and_verifies_clean():
+    dep, _ = establish_canonical(shards=4)
+    mic = dep.mic
+    victim = _owning_shard(mic)
+    owned = len(mic.shards[victim].channels)
+    mic.crash_shard(victim)
+    dep.run_for(1.0)
+
+    assert mic.failovers == 1
+    assert mic.channels_adopted == owned
+    assert not mic.shards[victim].channels
+    assert not mic.shards[victim].compiled
+    assert mic.live_channels == 3, "failover must not kill channels"
+    assert mic.alive_shards() == tuple(
+        i for i in range(4) if i != victim
+    )
+    # Adopted channels are owned by the surviving rendezvous owner of
+    # their initiator's edge switch.
+    for shard in mic.shards:
+        for cid, ch in shard.channels.items():
+            assert mic.shard_of_host(ch.initiator) is shard, cid
+    assert mic.verify().violations == []
+
+    # The adopter serves teardown for an adopted channel.
+    cid = next(iter(sorted(
+        c for s in mic.shards for c in s.channels
+    )))
+    mic.teardown(cid)
+    dep.run_for(0.5)
+    assert mic.live_channels == 2
+
+
+def test_crash_mid_repair_reschedules_on_adopter():
+    dep, _ = establish_canonical(shards=4)
+    mic = dep.mic
+    victim = _owning_shard(mic)
+    ch = mic.shards[victim].channels[
+        next(iter(sorted(mic.shards[victim].channels)))
+    ]
+    plan = ch.flows[0]
+    mid = len(plan.walk) // 2
+    # Fail an interior hop, then kill the owner while its repair is in
+    # flight (advance in small steps until the repair process has begun).
+    dep.net.set_link_state(plan.walk[mid - 1], plan.walk[mid], False)
+    deadline = dep.sim.now + 2.0
+    while not mic.shards[victim]._repairing and dep.sim.now < deadline:
+        dep.run_for(0.002)
+    assert mic.shards[victim]._repairing, "repair never started"
+    mic.crash_shard(victim)
+    dep.net.set_link_state(plan.walk[mid - 1], plan.walk[mid], True)
+    _settle(dep)
+
+    assert mic.live_channels == 3
+    assert mic.parked_flows == 0
+    assert mic.repairs_rescheduled + mic.flows_reparked >= 1, (
+        "the crash was supposed to interrupt an in-flight repair"
+    )
+    assert mic.verify().violations == []
+
+
+def test_rejoin_restores_eligibility_without_failback():
+    dep, _ = establish_canonical(shards=4)
+    mic = dep.mic
+    victim = _owning_shard(mic)
+    before = {
+        s.shard_id: sorted(s.channels) for s in mic.shards
+        if s.shard_id != victim
+    }
+    mic.crash_shard(victim)
+    dep.run_for(0.5)
+    mic.rejoin_shard(victim)
+    assert mic.alive_shards() == (0, 1, 2, 3)
+    # No fail-back: the rejoined shard owns nothing until new channels
+    # arrive; the adopters keep what they adopted.
+    assert not mic.shards[victim].channels
+    for shard_id, had in before.items():
+        assert set(had) <= set(mic.shards[shard_id].channels)
+    # Crashing an already-dead shard is a no-op; killing every shard isn't
+    # allowed.
+    mic.crash_shard(victim)  # alive again -> this kills it
+    mic.crash_shard(victim)  # no-op: already dead
+    assert mic.failovers == 2
+
+
+def test_cannot_crash_the_last_shard():
+    dep, _ = establish_canonical(shards=2)
+    mic = dep.mic
+    mic.crash_shard(0)
+    with pytest.raises(RuntimeError, match="last alive shard"):
+        mic.crash_shard(1)
+
+
+def test_shard_crash_spec_requires_sharded_control_plane():
+    dep, _ = establish_canonical()  # unsharded
+    sched = FaultSchedule(seed=0)
+    sched.shard_crash(0, at_s=1.0)
+    with pytest.raises(ValueError, match="sharded control plane"):
+        sched.attach(dep.net, dep.ctrl)
+
+    dep2, _ = establish_canonical(shards=2)
+    sched2 = FaultSchedule(seed=0)
+    sched2.shard_crash(7, at_s=1.0)
+    with pytest.raises(ValueError, match="outside the cluster"):
+        sched2.attach(dep2.net, dep2.ctrl)
+    with pytest.raises(ValueError):
+        ShardCrash(shard=-1, at_s=1.0).validate()
+
+
+def test_serialized_cpu_model_still_verifies():
+    dep, _ = establish_canonical(
+        shards=2,
+        mic_kwargs={"cpu_model": "serialized", "flowmod_cpu_s": 100e-6},
+    )
+    mic = dep.mic
+    assert mic.live_channels == 3
+    assert mic.cpu_busy_s > 0
+    assert mic.verify().violations == []
+
+
+def test_shard_crash_scorecard_converges():
+    """The acceptance run: seed-0 chaos on a 4-shard control plane (the
+    default plan crashes the shard owning channel 0 mid-repair and rejoins
+    it) ends with zero permanently-parked flows and a passing verifier."""
+    card, dep = run_chaos(seed=0, shards=4)
+    cp = card["controlplane"]
+    assert cp["shards"] == 4
+    assert cp["shards_alive"] == 4, "the crashed shard rejoined"
+    assert cp["failovers"] == 1
+    assert cp["channels_adopted"] >= 1
+    assert card["repair"]["parked_remaining"] == 0
+    assert card["verification"]["ok"], "post-convergence verify failed"
+    assert dep.mic.live_channels == 3
+    # The shard-crash fault actually appears in the timeline.
+    events = [e["event"] for e in card["faults"]["timeline"]]
+    assert any("controller shard" in e and "crash" in e for e in events)

@@ -1,0 +1,97 @@
+"""Satellite: ``tarn`` rotation racing a link flap on the same walk.
+
+The moving-target strategy's ``rotate_flow`` and the failure-repair path
+share the acked-install / ``remove_by_cookie`` barrier.  This test makes
+them collide on purpose: a :class:`repro.faults.LinkFlap` takes down an
+interior hop of a walk whose channel is mid-rotation (short ``period_s``,
+zero phase jitter, so hops keep firing throughout the flap window), with
+the race/determinism sanitizer attached for the whole run.  Afterwards no
+flow may be parked forever, the verifier's intent replay must be clean,
+and the sanitizer must have nothing to report.
+"""
+
+from repro.analysis.sanitizer import SimSanitizer
+from repro.anonymity import TarnHopping
+from repro.faults import FaultSchedule
+
+from tests.anonymity.helpers import establish_canonical
+
+
+def _settle(dep, deadline_s=20.0):
+    t_end = dep.sim.now + deadline_s
+    while dep.sim.now < t_end:
+        dep.run_for(0.5)
+        if not dep.mic.repairs_in_flight and not dep.mic.parked_flows:
+            return
+    raise AssertionError(
+        f"did not settle: repairing={dep.mic.repairs_in_flight} "
+        f"parked={dep.mic.parked_flows}"
+    )
+
+
+def test_tarn_rotation_races_link_flap_on_same_walk():
+    dep, _grants = establish_canonical(
+        mic_kwargs={"strategy": TarnHopping(period_s=0.5, phase_jitter=0.0)},
+    )
+    sanitizer = SimSanitizer.attach(dep.sim)
+    mic = dep.mic
+
+    # Flap an interior switch-switch hop of channel 1's current walk:
+    # alternates exist (so repair, not park) and the 0.5s rotation clock
+    # fires both during the down window and during the repair itself.
+    plan = mic.channels[1].flows[0]
+    mid = len(plan.walk) // 2
+    sched = FaultSchedule(seed=0)
+    sched.link_flap(plan.walk[mid - 1], plan.walk[mid],
+                    at_s=dep.sim.now + 0.45, down_for_s=1.2)
+    sched.attach(dep.net, dep.ctrl)
+
+    dep.run_for(4.0)
+    _settle(dep)
+
+    # The race actually happened: rotations landed and at least one
+    # repair (or rotation re-plan) completed around the dead hop.
+    assert mic.strategy.rotations_completed > 0
+    assert mic.repairs_completed + mic.strategy.rotations_completed >= 2
+    # No parked-forever flows, all channels alive, replay clean.
+    assert mic.parked_flows == 0
+    assert mic.live_channels == 3
+    report = mic.verify()
+    assert report.violations == [], [str(v) for v in report.violations]
+
+    # The sanitizer watched the whole collision and found nothing.
+    sanitizer.check_teardown(mic=mic, stores=False)
+    sanitizer.detach()
+    assert sanitizer.findings == [], sanitizer.report()
+
+
+def test_tarn_rotation_race_is_deterministic():
+    """Same seed, same schedule: the race resolves identically (the
+    sanitizer's whole premise — nondeterminism here would make the chaos
+    goldens flaky)."""
+
+    def run():
+        dep, _ = establish_canonical(
+            mic_kwargs={"strategy": TarnHopping(period_s=0.5,
+                                                phase_jitter=0.0)},
+        )
+        plan = dep.mic.channels[1].flows[0]
+        mid = len(plan.walk) // 2
+        sched = FaultSchedule(seed=0)
+        sched.link_flap(plan.walk[mid - 1], plan.walk[mid],
+                        at_s=dep.sim.now + 0.45, down_for_s=1.2)
+        sched.attach(dep.net, dep.ctrl)
+        dep.run_for(6.0)
+        mic = dep.mic
+        return (
+            mic.strategy.rotations_completed,
+            mic.repairs_completed,
+            mic.repairs_parked,
+            sorted(
+                (cid, p.cookie, tuple(p.walk))
+                for cid, ch in mic.channels.items()
+                for p in ch.flows
+            ),
+        )
+
+    assert run() == run()

@@ -171,6 +171,28 @@ def _observed_names() -> set[str]:
     assert dep.mic.rotate_flow(ch, 0)
     dep.run_for(1.0)
     names |= dep.obs.snapshot().names()
+
+    # Sharded control plane: mic.shard.* samples plus the failover span —
+    # emitted only while a MimicControllerCluster is deployed, so they need
+    # their own leg (the unsharded runs above must never produce them).
+    dep = deploy_mic(seed=7, observe=True, shards=2)
+    server = dep.server("h16", 80)
+
+    def shard_client():
+        yield from dep.endpoint("h1").connect("h16", service_port=80, n_mns=3)
+
+    def shard_srv():
+        yield server.accept()
+
+    dep.sim.process(shard_client())
+    dep.sim.process(shard_srv())
+    dep.run_for(2.0)
+    victim = next(
+        i for i, shard in enumerate(dep.mic.shards) if shard.channels
+    )
+    dep.mic.crash_shard(victim)
+    dep.run_for(1.0)
+    names |= dep.obs.snapshot().names()
     return names
 
 
